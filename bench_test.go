@@ -1,0 +1,395 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// component micro-benchmarks and the ablation benches DESIGN.md lists.
+//
+// Each experiment bench builds its environment once (the expensive part) and
+// then measures the experiment itself; the reported metrics are printed via
+// b.ReportMetric so `go test -bench` output doubles as the reproduction
+// record (see EXPERIMENTS.md for paper-vs-measured).
+package verifai
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datalake"
+	"repro/internal/embed"
+	"repro/internal/experiments"
+	"repro/internal/invindex"
+	"repro/internal/vecindex"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// benchEnv lazily builds a single experiment environment shared by all
+// experiment benchmarks (the corpus and indexes are read-only).
+var (
+	benchOnce sync.Once
+	benchVal  *experiments.Env
+	benchErr  error
+)
+
+func benchEnvironment(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := experiments.DefaultConfig()
+		// Bench scale: large enough for the paper's shapes, small enough to
+		// iterate. cmd/experiments -scale paper runs the full dimensions.
+		cfg.Corpus.NumTables = 1500
+		cfg.Corpus.NumTexts = 800
+		cfg.NumClaimTasks = 150
+		benchVal, benchErr = experiments.Build(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchVal
+}
+
+// --- Experiment benches: one per table/figure of the paper ---
+
+// BenchmarkBaselineNoEvidence regenerates the Section 4 prose baseline:
+// generator accuracy without evidence (paper: 0.52 tuples / 0.54 claims).
+func BenchmarkBaselineNoEvidence(b *testing.B) {
+	env := benchEnvironment(b)
+	var r experiments.BaselineResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = env.Baseline()
+	}
+	b.ReportMetric(r.TupleAccuracy, "tuple-acc")
+	b.ReportMetric(r.ClaimAccuracy, "claim-acc")
+}
+
+// BenchmarkTable1TupleTuple regenerates Table 1 row 1: (tuple, tuple)
+// retrieval recall at top-3 (paper: 0.99).
+func BenchmarkTable1TupleTuple(b *testing.B) {
+	env := benchEnvironment(b)
+	var recall float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := env.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recall = r.TupleTupleRecall
+	}
+	b.ReportMetric(recall, "recall")
+}
+
+// BenchmarkTable1TupleText regenerates Table 1 row 2: (tuple, text)
+// retrieval recall at top-3 (paper: 0.58).
+func BenchmarkTable1TupleText(b *testing.B) {
+	env := benchEnvironment(b)
+	var recall float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := env.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recall = r.TupleTextRecall
+	}
+	b.ReportMetric(recall, "recall")
+}
+
+// BenchmarkTable1ClaimTable regenerates Table 1 row 3: (claim, table)
+// retrieval recall at top-5 (paper: 0.88).
+func BenchmarkTable1ClaimTable(b *testing.B) {
+	env := benchEnvironment(b)
+	var recall float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := env.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recall = r.ClaimTableRecall
+	}
+	b.ReportMetric(recall, "recall")
+}
+
+// BenchmarkTable2TupleVerifier regenerates Table 2 row 1: ChatGPT accuracy
+// on (tuple, tuple+text) pairs (paper: 0.88).
+func BenchmarkTable2TupleVerifier(b *testing.B) {
+	env := benchEnvironment(b)
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := env.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = r.TupleChatGPT
+	}
+	b.ReportMetric(acc, "chatgpt-acc")
+}
+
+// BenchmarkTable2RelevantTable regenerates Table 2 row 2: accuracy on
+// (text, relevant table) pairs (paper: ChatGPT 0.75, PASTA 0.89).
+func BenchmarkTable2RelevantTable(b *testing.B) {
+	env := benchEnvironment(b)
+	var r experiments.Table2Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = env.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.RelevantTableChatGPT, "chatgpt-acc")
+	b.ReportMetric(r.RelevantTablePasta, "pasta-acc")
+}
+
+// BenchmarkTable2RetrievedTable regenerates Table 2 row 3: accuracy on
+// (text, retrieved table) pairs (paper: ChatGPT 0.91, PASTA 0.72).
+func BenchmarkTable2RetrievedTable(b *testing.B) {
+	env := benchEnvironment(b)
+	var r experiments.Table2Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = env.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.RetrievedTableChatGPT, "chatgpt-acc")
+	b.ReportMetric(r.RetrievedTablePasta, "pasta-acc")
+}
+
+// BenchmarkFigure1Cases regenerates the Figure 1 case studies (tuple
+// completion + text generation, verified/refuted with lake evidence).
+func BenchmarkFigure1Cases(b *testing.B) {
+	env := benchEnvironment(b)
+	matches := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := env.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		matches = 0
+		for _, c := range []experiments.CaseOutcome{r.TupleCorrect, r.TupleWrong, r.TextClaim} {
+			if c.Match() {
+				matches++
+			}
+		}
+	}
+	b.ReportMetric(matches, "cases-matched-of-3")
+}
+
+// BenchmarkFigure4CaseStudy regenerates Figure 4: the golf prize-total claim
+// refuted by E1 via aggregation, E2 recognized as not related.
+func BenchmarkFigure4CaseStudy(b *testing.B) {
+	env := benchEnvironment(b)
+	ok := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := env.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok = 0
+		if r.Final.Match() && r.E1Retrieved && r.E1Verdict == verify.Refuted {
+			ok = 1
+		}
+	}
+	b.ReportMetric(ok, "reproduced")
+}
+
+// --- Ablation benches (design choices DESIGN.md calls out) ---
+
+// BenchmarkAblationCombiner measures BM25-only vs vector-only vs combined
+// retrieval recall (Section 3.1's two-index design).
+func BenchmarkAblationCombiner(b *testing.B) {
+	env := benchEnvironment(b)
+	var r experiments.AblationsResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationsResult{
+			CombinerClaimTable: map[string]float64{},
+			CombinerTupleTuple: map[string]float64{},
+		}
+		if err := env.AblateCombiner(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.CombinerClaimTable["bm25"], "bm25-recall")
+	b.ReportMetric(r.CombinerClaimTable["vector"], "vector-recall")
+	b.ReportMetric(r.CombinerClaimTable["combined"], "combined-recall")
+}
+
+// BenchmarkAblationReranker measures recall@k' with and without the
+// task-aware reranker (Section 3.2).
+func BenchmarkAblationReranker(b *testing.B) {
+	env := benchEnvironment(b)
+	var r experiments.AblationsResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationsResult{RerankerAt: map[int]experiments.RerankerPoint{}}
+		if err := env.AblateReranker(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.RerankerAt[1].With, "recall@1-with")
+	b.ReportMetric(r.RerankerAt[1].Without, "recall@1-without")
+}
+
+// BenchmarkAblationTopK sweeps the task-agnostic retrieval depth.
+func BenchmarkAblationTopK(b *testing.B) {
+	env := benchEnvironment(b)
+	var r experiments.AblationsResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationsResult{TopK: map[int]float64{}}
+		if err := env.AblateTopK(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.TopK[1], "recall@1")
+	b.ReportMetric(r.TopK[100], "recall@100")
+}
+
+// BenchmarkAblationTrust measures final-verdict accuracy with uniform vs
+// trust-weighted resolution under a corrupted source (challenge C3).
+func BenchmarkAblationTrust(b *testing.B) {
+	env := benchEnvironment(b)
+	var r experiments.AblationsResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationsResult{}
+		if err := env.AblateTrust(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.TrustUniform, "uniform-acc")
+	b.ReportMetric(r.TrustPriors, "priors-acc")
+	b.ReportMetric(r.TrustEstimated, "learned-acc")
+}
+
+// --- Component micro-benchmarks ---
+
+// BenchmarkIndexScale measures BM25 index build throughput vs lake size.
+func BenchmarkIndexScale(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		b.Run(fmt.Sprintf("tables=%d", n), func(b *testing.B) {
+			cfg := workload.DefaultConfig()
+			cfg.NumTables = n
+			cfg.NumTexts = n / 2
+			corpus, err := workload.GenerateLake(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildIndexer(corpus.Lake, core.DefaultIndexerConfig(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBM25Search measures single-query latency on the content index.
+func BenchmarkBM25Search(b *testing.B) {
+	ix := invindex.New()
+	cfg := workload.DefaultConfig()
+	cfg.NumTables = 1000
+	corpus, err := workload.GenerateLake(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, t := range corpus.Tables {
+		if err := ix.Add(t.ID, t.SerializeForIndex()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	query := corpus.Tables[42].SerializeForIndex()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := ix.Search(query, 10); len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+// BenchmarkVectorSearch compares Flat, IVF, and LSH single-query latency.
+func BenchmarkVectorSearch(b *testing.B) {
+	const dim, n = 128, 5000
+	emb := embed.NewEmbedder(dim, 1)
+	vecs := make([]embed.Vector, n)
+	for i := range vecs {
+		vecs[i] = emb.EmbedText(fmt.Sprintf("document %d about topic %d with words %d", i, i%37, i%113))
+	}
+	query := vecs[123]
+
+	indexes := map[string]interface {
+		Search(q embed.Vector, k int) []vecindex.Hit
+		Add(id string, v embed.Vector) error
+	}{
+		"flat": vecindex.NewFlat(dim, vecindex.Cosine),
+		"ivf":  vecindex.NewIVF(dim, vecindex.Cosine, 64, 8, 1),
+		"lsh":  vecindex.NewLSH(dim, 16, 8, 1),
+	}
+	for name, ix := range indexes {
+		for i, v := range vecs {
+			if err := ix.Add(fmt.Sprintf("v%d", i), v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if ivf, ok := ix.(*vecindex.IVF); ok {
+			ivf.Train()
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix.Search(query, 10)
+			}
+		})
+	}
+}
+
+// BenchmarkEmbedText measures embedding throughput.
+func BenchmarkEmbedText(b *testing.B) {
+	emb := embed.NewEmbedder(128, 1)
+	text := "In the 1954 u.s. open (golf), Tommy Bolt recorded a money of 570 while competing against the field."
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emb.EmbedText(text)
+	}
+}
+
+// BenchmarkEndToEndVerify measures one full pipeline verification (retrieve
+// → combine → rerank → verify → resolve) on the bench lake.
+func BenchmarkEndToEndVerify(b *testing.B) {
+	env := benchEnvironment(b)
+	task := env.TupleTasks[0]
+	_, tuple := env.Impute(task)
+	g := env.TupleObject(task, tuple)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Pipeline.Verify(g, datalake.KindTuple, datalake.KindText); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationVectorIndex compares the semantic index families
+// (Flat exact, IVF, LSH) on vector-only claim→table retrieval quality.
+func BenchmarkAblationVectorIndex(b *testing.B) {
+	env := benchEnvironment(b)
+	var points map[string]experiments.VectorIndexPoint
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err = env.AblateVectorIndex()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points["flat"].Recall, "flat-recall")
+	b.ReportMetric(points["ivf"].Recall, "ivf-recall")
+	b.ReportMetric(points["lsh"].Recall, "lsh-recall")
+}

@@ -1,0 +1,287 @@
+// Command verifai verifies generated data against a multi-modal data lake
+// from the command line.
+//
+// Subcommands:
+//
+//	verifai stats  -lake DIR
+//	    print lake statistics
+//	verifai claim  -lake DIR -text "In <caption>, the <attr> for <entity> was <value>."
+//	    verify a textual claim against the lake's tables
+//	verifai tuple  -lake DIR -table ID -row N -attr NAME [-value V]
+//	    verify (or re-verify with an overridden value) one tuple attribute
+//	verifai demo
+//	    run the paper's Figure 1 and Figure 4 cases on the built-in case lake
+//	verifai serve -lake DIR -addr :8080
+//	    serve the verification pipeline as an HTTP JSON API
+//
+// The lake directory is produced by cmd/lakegen (or any tool writing the
+// lakeio layout). Add -exact=false to enable the calibrated error profiles
+// used by the experiments.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro"
+	"repro/internal/genstore"
+	"repro/internal/lakeio"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("verifai: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "claim":
+		err = runClaim(os.Args[2:])
+	case "tuple":
+		err = runTuple(os.Args[2:])
+	case "demo":
+		err = runDemo(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: verifai <stats|claim|tuple|demo|serve> [flags]")
+	os.Exit(2)
+}
+
+// commonFlags registers the flags shared by lake-based subcommands.
+func commonFlags(fs *flag.FlagSet) (lakeDir *string, seed *uint64, exact *bool) {
+	lakeDir = fs.String("lake", "", "lake directory from cmd/lakegen (required)")
+	seed = fs.Uint64("seed", 1, "deterministic seed")
+	exact = fs.Bool("exact", true, "exact reasoning (no calibrated error injection)")
+	return
+}
+
+func buildSystem(lakeDir string, seed uint64, exact bool) (*verifai.System, *verifai.Lake, error) {
+	if lakeDir == "" {
+		return nil, nil, fmt.Errorf("-lake is required")
+	}
+	lake, err := lakeio.Load(lakeDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := verifai.DefaultOptions(seed)
+	if exact {
+		opts = verifai.ExactOptions(seed)
+	}
+	sys, err := verifai.NewSystem(lake, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, lake, nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	lakeDir, _, _ := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *lakeDir == "" {
+		return fmt.Errorf("-lake is required")
+	}
+	lake, err := lakeio.Load(*lakeDir)
+	if err != nil {
+		return err
+	}
+	s := lake.Stats()
+	fmt.Printf("tables:   %d\ntuples:   %d\ntexts:    %d\ntriples:  %d\nentities: %d\nsources:  %d\n",
+		s.Tables, s.Tuples, s.Docs, s.Triples, s.Entities, s.Sources)
+	for _, src := range lake.Sources() {
+		fmt.Printf("  source %-24s trust prior %.2f  (%s)\n", src.ID, src.TrustPrior, src.Name)
+	}
+	return nil
+}
+
+func runClaim(args []string) error {
+	fs := flag.NewFlagSet("claim", flag.ExitOnError)
+	lakeDir, seed, exact := commonFlags(fs)
+	text := fs.String("text", "", "claim text (required)")
+	withTexts := fs.Bool("texts", false, "also use text files as evidence")
+	record := fs.String("record", "", "append the generation and verdict to this genstore JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *text == "" {
+		return fmt.Errorf("-text is required")
+	}
+	sys, _, err := buildSystem(*lakeDir, *seed, *exact)
+	if err != nil {
+		return err
+	}
+	kinds := []verifai.Kind{verifai.KindTable}
+	if *withTexts {
+		kinds = append(kinds, verifai.KindText)
+	}
+	report, err := sys.VerifyClaimText("cli-claim", *text, kinds...)
+	if err != nil {
+		return err
+	}
+	printReport(report)
+	if *record != "" {
+		return recordGeneration(*record, "claim", *text, report, *lakeDir)
+	}
+	return nil
+}
+
+// recordGeneration appends a generation + verdict to a genstore JSON file,
+// creating it when absent (the Section 5 "managing generated data" flow).
+func recordGeneration(path, template, output string, report verifai.Report, lakeStamp string) error {
+	store := verifai.NewGenerationStore()
+	if data, err := os.ReadFile(path); err == nil {
+		loaded, err := genstore.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("load genstore %s: %w", path, err)
+		}
+		store = loaded
+	}
+	id := fmt.Sprintf("gen-%06d", store.Len())
+	if err := store.Record(verifai.Generation{ID: id, Template: template, Output: output}); err != nil {
+		return err
+	}
+	if err := store.AddVerdict(id, verifai.VerdictEntry{
+		Verdict:       report.Verdict.String(),
+		Confidence:    report.Confidence,
+		ProvenanceSeq: report.ProvenanceSeq,
+		LakeStamp:     lakeStamp,
+	}); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := store.WriteJSON(&buf); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("write genstore %s: %w", path, err)
+	}
+	fmt.Printf("recorded as %s in %s\n", id, path)
+	return nil
+}
+
+func runTuple(args []string) error {
+	fs := flag.NewFlagSet("tuple", flag.ExitOnError)
+	lakeDir, seed, exact := commonFlags(fs)
+	tableID := fs.String("table", "", "table ID in the lake (required)")
+	row := fs.Int("row", 0, "row index")
+	attr := fs.String("attr", "", "attribute to verify (required)")
+	value := fs.String("value", "", "override the attribute value (simulates a generated value)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tableID == "" || *attr == "" {
+		return fmt.Errorf("-table and -attr are required")
+	}
+	sys, lake, err := buildSystem(*lakeDir, *seed, *exact)
+	if err != nil {
+		return err
+	}
+	tbl, ok := lake.Table(*tableID)
+	if !ok {
+		return fmt.Errorf("table %q not in lake", *tableID)
+	}
+	tp, ok := tbl.TupleAt(*row)
+	if !ok {
+		return fmt.Errorf("row %d out of range (table has %d rows)", *row, tbl.NumRows())
+	}
+	if *value != "" {
+		tp = tp.WithValue(*attr, *value)
+	}
+	fmt.Printf("verifying: %s\n\n", tp.String())
+	report, err := sys.VerifyImputedTuple("cli-tuple", tp, *attr)
+	if err != nil {
+		return err
+	}
+	printReport(report)
+	return nil
+}
+
+func runDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lake := verifai.NewLake()
+	lake.AddSource(verifai.Source{ID: workload.CaseSource, Name: "paper case studies", TrustPrior: 0.9})
+	for _, t := range []*verifai.Table{
+		workload.OhioDistrictsTable(), workload.FilmographyTable(),
+		workload.USOpen1954Table(), workload.USOpen1959Table(),
+	} {
+		if err := lake.AddTable(t); err != nil {
+			return err
+		}
+	}
+	if err := lake.AddDocument(workload.MeaganGoodDoc()); err != nil {
+		return err
+	}
+	sys, err := verifai.NewSystem(lake, verifai.ExactOptions(*seed))
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("=== Figure 4: the golf prize-total claim ===")
+	report, err := sys.VerifyClaim("demo-fig4", workload.GolfClaim())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("claim: %s\n", workload.GolfClaim().Text)
+	printReport(report)
+
+	fmt.Println("\n=== Figure 1(a): imputed incumbent (wrong) ===")
+	ohio := workload.OhioDistrictsTable()
+	tp, _ := ohio.TupleAt(2)
+	wrong := tp.WithValue("incumbent", "dave hobson")
+	report, err = sys.VerifyImputedTuple("demo-fig1", wrong, "incumbent")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tuple: %s\n", wrong.String())
+	printReport(report)
+	return nil
+}
+
+func printReport(r verifai.Report) {
+	fmt.Printf("verdict: %v (confidence %.2f)\n", r.Verdict, r.Confidence)
+	for i, ev := range r.Evidence {
+		fmt.Printf("  %d. %-28s %-12v [%s, trust %.2f]\n", i+1, ev.Instance.ID,
+			ev.Result.Verdict, ev.Result.Verifier, ev.SourceTrust)
+		fmt.Printf("     %s\n", ev.Result.Explanation)
+	}
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	lakeDir, seed, exact := commonFlags(fs)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, lake, err := buildSystem(*lakeDir, *seed, *exact)
+	if err != nil {
+		return err
+	}
+	stats := lake.Stats()
+	fmt.Printf("serving %d tables / %d texts on %s\n", stats.Tables, stats.Docs, *addr)
+	return http.ListenAndServe(*addr, server.New(sys.Pipeline()))
+}

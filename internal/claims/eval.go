@@ -1,0 +1,251 @@
+package claims
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/table"
+	"repro/internal/textutil"
+)
+
+// Outcome is the ternary result of checking a claim against evidence,
+// matching the paper's verify(g, x) → verified | refuted | not related.
+type Outcome int
+
+const (
+	// Unrelated means the evidence can neither support nor refute the claim.
+	Unrelated Outcome = iota
+	// Supports means the evidence verifies the claim.
+	Supports
+	// Refutes means the evidence contradicts the claim.
+	Refutes
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Supports:
+		return "supports"
+	case Refutes:
+		return "refutes"
+	case Unrelated:
+		return "unrelated"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// attributeSynonyms maps common claim phrasings onto column names, the small
+// lexical bridge a learned verifier would capture. Figure 4's claim says
+// "cash prize" while the golf table's column is "money".
+var attributeSynonyms = map[string]string{
+	"cash prize":  "money",
+	"prize money": "money",
+	"prize":       "money",
+	"winnings":    "money",
+	"earnings":    "money",
+	"wage":        "salary",
+	"pay":         "salary",
+}
+
+// Eval checks a structured claim against a table by executing the implied
+// lookup or aggregation. The returned explanation mirrors the paper's
+// Figure 4 output style ("Verification result: Refuted. Explanation: ...").
+//
+// Relatedness rules (in order):
+//  1. The claim's context must match the table caption (folded equality or
+//     token Jaccard >= 0.7, tolerating paraphrased contexts that drop a
+//     year); otherwise the table is Unrelated — this is how
+//     the 1959 U.S. Open table is rejected for a 1954 claim even though the
+//     same players appear in it.
+//  2. The claimed attribute must resolve to a column (directly or through a
+//     synonym); otherwise Unrelated.
+//  3. Every claimed entity must appear in the table; otherwise Unrelated.
+func Eval(c Claim, t *table.Table) (Outcome, string) {
+	if !captionMatches(c.Context, t.Caption) {
+		return Unrelated, fmt.Sprintf("The table is about %q, not %q.", t.Caption, c.Context)
+	}
+	col := resolveAttribute(c.Attribute, t)
+	if col < 0 {
+		return Unrelated, fmt.Sprintf("The table has no column matching %q.", c.Attribute)
+	}
+
+	if c.Op == OpCount {
+		return evalCount(c, t, col)
+	}
+
+	rows := make([]int, 0, len(c.Entities))
+	for _, e := range c.Entities {
+		row := findEntityRow(t, e)
+		if row < 0 {
+			return Unrelated, fmt.Sprintf("Entity %q does not appear in the table.", e)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return Unrelated, "The claim names no entities to check."
+	}
+
+	switch c.Op {
+	case OpLookup:
+		return evalLookup(c, t, col, rows[0])
+	case OpSum, OpAvg, OpMin, OpMax:
+		return evalAggregate(c, t, col, rows)
+	default:
+		return Unrelated, fmt.Sprintf("Unsupported claim operation %v.", c.Op)
+	}
+}
+
+// captionMatches reports whether the claim context names this table.
+func captionMatches(context, caption string) bool {
+	if textutil.Fold(context) == textutil.Fold(caption) {
+		return true
+	}
+	a := textutil.Tokenize(context)
+	b := textutil.Tokenize(caption)
+	return textutil.Jaccard(a, b) >= 0.7
+}
+
+// resolveAttribute maps the claim's attribute phrase onto a column index,
+// trying exact fold match, the synonym table, and token containment.
+func resolveAttribute(attr string, t *table.Table) int {
+	if col := t.ColumnIndex(attr); col >= 0 {
+		return col
+	}
+	if syn, ok := attributeSynonyms[textutil.Fold(attr)]; ok {
+		if col := t.ColumnIndex(syn); col >= 0 {
+			return col
+		}
+	}
+	// Token containment: "total score" matches column "score".
+	at := textutil.Tokenize(attr)
+	best, bestScore := -1, 0.0
+	for i, c := range t.Columns {
+		ct := textutil.Tokenize(c)
+		s := textutil.Jaccard(at, ct)
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if bestScore >= 0.5 {
+		return best
+	}
+	return -1
+}
+
+// findEntityRow locates the row whose non-numeric cell folds equal to the
+// entity, scanning key-like columns first.
+func findEntityRow(t *table.Table, entity string) int {
+	want := textutil.Fold(entity)
+	for col := 0; col < t.NumCols(); col++ {
+		if t.IsNumericColumn(col) {
+			continue
+		}
+		for row := range t.Rows {
+			if textutil.Fold(t.Rows[row][col]) == want {
+				return row
+			}
+		}
+	}
+	return -1
+}
+
+func evalLookup(c Claim, t *table.Table, col, row int) (Outcome, string) {
+	actual := t.Rows[row][col]
+	if valuesMatch(c.Value, actual) {
+		return Supports, fmt.Sprintf("The %s for %s is %s, matching the claim.", t.Columns[col], c.Entities[0], actual)
+	}
+	return Refutes, fmt.Sprintf("The %s for %s is %s, not %s.", t.Columns[col], c.Entities[0], actual, c.Value)
+}
+
+func evalAggregate(c Claim, t *table.Table, col int, rows []int) (Outcome, string) {
+	vals := make([]float64, 0, len(rows))
+	cells := make([]string, 0, len(rows))
+	for _, row := range rows {
+		cell := t.Rows[row][col]
+		v, ok := textutil.ParseNumber(cell)
+		if !ok {
+			return Unrelated, fmt.Sprintf("The %s cell %q is not numeric, so the claimed %v cannot be checked.", t.Columns[col], cell, c.Op)
+		}
+		vals = append(vals, v)
+		cells = append(cells, cell)
+	}
+	var actual float64
+	switch c.Op {
+	case OpSum:
+		for _, v := range vals {
+			actual += v
+		}
+	case OpAvg:
+		for _, v := range vals {
+			actual += v
+		}
+		actual /= float64(len(vals))
+	case OpMin:
+		actual = vals[0]
+		for _, v := range vals[1:] {
+			if v < actual {
+				actual = v
+			}
+		}
+	case OpMax:
+		actual = vals[0]
+		for _, v := range vals[1:] {
+			if v > actual {
+				actual = v
+			}
+		}
+	}
+	claimed, ok := textutil.ParseNumber(c.Value)
+	if !ok {
+		return Unrelated, fmt.Sprintf("The claimed value %q is not numeric.", c.Value)
+	}
+	if textutil.NearlyEqual(actual, claimed) {
+		return Supports, fmt.Sprintf("The %v of %s over %s is %s, matching the claim.",
+			c.Op, t.Columns[col], joinEntities(c.Entities), formatNumber(actual))
+	}
+	// Figure 4 style explanation: per-entity values plus the true total.
+	return Refutes, fmt.Sprintf("The %s for %s was %s respectively, so the %v is %s, not %s.",
+		t.Columns[col], joinEntities(c.Entities), strings.Join(cells, ", "), c.Op, formatNumber(actual), c.Value)
+}
+
+func evalCount(c Claim, t *table.Table, col int) (Outcome, string) {
+	if len(c.Entities) == 0 {
+		return Unrelated, "The count claim names no target value."
+	}
+	target := c.Entities[0]
+	n := 0
+	for _, row := range t.Rows {
+		if valuesMatch(target, row[col]) {
+			n++
+		}
+	}
+	claimed, ok := textutil.ParseNumber(c.Value)
+	if !ok {
+		return Unrelated, fmt.Sprintf("The claimed count %q is not numeric.", c.Value)
+	}
+	if textutil.NearlyEqual(float64(n), claimed) {
+		return Supports, fmt.Sprintf("%d rows have %s = %s, matching the claim.", n, t.Columns[col], target)
+	}
+	return Refutes, fmt.Sprintf("%d rows have %s = %s, not %s.", n, t.Columns[col], target, c.Value)
+}
+
+// valuesMatch compares a claimed value to a table cell: numeric comparison
+// when both parse as numbers, folded string equality otherwise.
+func valuesMatch(claimed, actual string) bool {
+	cv, cok := textutil.ParseNumber(claimed)
+	av, aok := textutil.ParseNumber(actual)
+	if cok && aok {
+		return textutil.NearlyEqual(cv, av)
+	}
+	return textutil.Fold(claimed) == textutil.Fold(actual)
+}
+
+// formatNumber renders a float without a spurious fraction.
+func formatNumber(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

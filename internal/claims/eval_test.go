@@ -1,0 +1,235 @@
+package claims
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// usOpen1954 transcribes the paper's Figure 4 evidence table E1.
+func usOpen1954() *table.Table {
+	t := table.New("e1", "1954 u.s. open (golf)",
+		[]string{"place", "player", "country", "score", "to par", "money"})
+	t.MustAppendRow("t1", "ed furgol", "united states", "71 + 70 + 71 + 72 = 284", "+ 4", "6000")
+	t.MustAppendRow("t5", "bobby locke", "south africa", "74 + 70 + 74 + 70 = 288", "+ 8", "960")
+	t.MustAppendRow("t6", "tommy bolt", "united states", "72 + 72 + 73 + 72 = 289", "+ 9", "570")
+	t.MustAppendRow("t6", "fred haas", "united states", "73 + 73 + 71 + 72 = 289", "+ 9", "570")
+	t.MustAppendRow("t6", "ben hogan", "united states", "71 + 70 + 76 + 72 = 289", "+ 9", "570")
+	return t
+}
+
+func usOpen1959() *table.Table {
+	t := table.New("e2", "1959 u.s. open (golf)",
+		[]string{"player", "country", "year (s) won", "total", "to par", "finish"})
+	t.MustAppendRow("ben hogan", "united states", "1948, 1950, 1951, 1953", "287", "+ 7", "t8")
+	t.MustAppendRow("tommy bolt", "united states", "1958", "301", "+ 21", "t38")
+	return t
+}
+
+// TestFigure4SumClaim is the paper's headline reasoning case: the prize
+// total claim is refuted by E1 via aggregation and unrelated to E2.
+func TestFigure4SumClaim(t *testing.T) {
+	c := Claim{
+		Context:   "1954 u.s. open (golf)",
+		Entities:  []string{"tommy bolt", "fred haas", "ben hogan"},
+		Attribute: "cash prize", // synonym of the "money" column
+		Op:        OpSum,
+		Value:     "960",
+	}
+	out, expl := Eval(c, usOpen1954())
+	if out != Refutes {
+		t.Fatalf("E1 outcome = %v (%s), want Refutes", out, expl)
+	}
+	if !strings.Contains(expl, "1710") {
+		t.Errorf("explanation missing true total 1710: %q", expl)
+	}
+	out, expl = Eval(c, usOpen1959())
+	if out != Unrelated {
+		t.Errorf("E2 outcome = %v (%s), want Unrelated", out, expl)
+	}
+}
+
+func TestEvalLookupSupports(t *testing.T) {
+	c := Claim{
+		Context:   "1954 u.s. open (golf)",
+		Entities:  []string{"bobby locke"},
+		Attribute: "money",
+		Op:        OpLookup,
+		Value:     "960",
+	}
+	out, _ := Eval(c, usOpen1954())
+	if out != Supports {
+		t.Errorf("lookup supports = %v", out)
+	}
+	// String-valued lookup.
+	c2 := Claim{
+		Context:   "1954 u.s. open (golf)",
+		Entities:  []string{"bobby locke"},
+		Attribute: "country",
+		Op:        OpLookup,
+		Value:     "South_Africa", // folded comparison
+	}
+	if out, _ := Eval(c2, usOpen1954()); out != Supports {
+		t.Errorf("folded string lookup = %v", out)
+	}
+}
+
+func TestEvalLookupRefutes(t *testing.T) {
+	c := Claim{
+		Context:   "1954 u.s. open (golf)",
+		Entities:  []string{"bobby locke"},
+		Attribute: "money",
+		Op:        OpLookup,
+		Value:     "1000",
+	}
+	if out, _ := Eval(c, usOpen1954()); out != Refutes {
+		t.Errorf("lookup refutes = %v", out)
+	}
+}
+
+func TestEvalAvgMinMax(t *testing.T) {
+	base := Claim{
+		Context:   "1954 u.s. open (golf)",
+		Entities:  []string{"ed furgol", "bobby locke"},
+		Attribute: "money",
+	}
+	avg := base
+	avg.Op, avg.Value = OpAvg, "3480"
+	if out, expl := Eval(avg, usOpen1954()); out != Supports {
+		t.Errorf("avg = %v (%s)", out, expl)
+	}
+	min := base
+	min.Op, min.Value = OpMin, "960"
+	if out, _ := Eval(min, usOpen1954()); out != Supports {
+		t.Errorf("min = %v", out)
+	}
+	max := base
+	max.Op, max.Value = OpMax, "960"
+	if out, _ := Eval(max, usOpen1954()); out != Refutes {
+		t.Errorf("max should refute = %v", out)
+	}
+}
+
+func TestEvalCount(t *testing.T) {
+	c := Claim{
+		Context:   "1954 u.s. open (golf)",
+		Entities:  []string{"570"},
+		Attribute: "money",
+		Op:        OpCount,
+		Value:     "3",
+	}
+	if out, _ := Eval(c, usOpen1954()); out != Supports {
+		t.Errorf("count supports = %v", out)
+	}
+	c.Value = "5"
+	if out, _ := Eval(c, usOpen1954()); out != Refutes {
+		t.Errorf("count refutes = %v", out)
+	}
+	c.Value = "not a number"
+	if out, _ := Eval(c, usOpen1954()); out != Unrelated {
+		t.Errorf("count bad value = %v", out)
+	}
+	c.Entities = nil
+	c.Value = "3"
+	if out, _ := Eval(c, usOpen1954()); out != Unrelated {
+		t.Errorf("count no target = %v", out)
+	}
+}
+
+func TestEvalUnrelatedCases(t *testing.T) {
+	tbl := usOpen1954()
+	// Wrong caption entirely.
+	c := Claim{Context: "completely different table", Entities: []string{"tommy bolt"},
+		Attribute: "money", Op: OpLookup, Value: "570"}
+	if out, _ := Eval(c, tbl); out != Unrelated {
+		t.Errorf("wrong caption = %v", out)
+	}
+	// Unknown attribute.
+	c = Claim{Context: "1954 u.s. open (golf)", Entities: []string{"tommy bolt"},
+		Attribute: "shoe size", Op: OpLookup, Value: "9"}
+	if out, _ := Eval(c, tbl); out != Unrelated {
+		t.Errorf("unknown attribute = %v", out)
+	}
+	// Unknown entity.
+	c = Claim{Context: "1954 u.s. open (golf)", Entities: []string{"arnold palmer"},
+		Attribute: "money", Op: OpLookup, Value: "570"}
+	if out, _ := Eval(c, tbl); out != Unrelated {
+		t.Errorf("unknown entity = %v", out)
+	}
+	// Aggregate over a non-numeric column.
+	c = Claim{Context: "1954 u.s. open (golf)", Entities: []string{"tommy bolt", "ben hogan"},
+		Attribute: "country", Op: OpSum, Value: "2"}
+	if out, _ := Eval(c, tbl); out != Unrelated {
+		t.Errorf("non-numeric aggregate = %v", out)
+	}
+	// Non-numeric claimed value on a numeric aggregate.
+	c = Claim{Context: "1954 u.s. open (golf)", Entities: []string{"tommy bolt", "ben hogan"},
+		Attribute: "money", Op: OpSum, Value: "lots"}
+	if out, _ := Eval(c, tbl); out != Unrelated {
+		t.Errorf("non-numeric value = %v", out)
+	}
+}
+
+func TestCaptionMatching(t *testing.T) {
+	tests := []struct {
+		context, caption string
+		want             bool
+	}{
+		{"1954 u.s. open (golf)", "1954 u.s. open (golf)", true},
+		{"1954 U.S. Open (Golf)", "1954 u.s. open (golf)", true},
+		{"1954 u.s. open (golf)", "1959 u.s. open (golf)", false},
+		{"ohio congressional districts", "ohio congressional districts 1994", true}, // year-dropped paraphrase
+		{"ohio congressional districts 1994", "texas congressional districts 1994", false},
+		{"x", "completely different", false},
+	}
+	for _, tc := range tests {
+		if got := captionMatches(tc.context, tc.caption); got != tc.want {
+			t.Errorf("captionMatches(%q, %q) = %v, want %v", tc.context, tc.caption, got, tc.want)
+		}
+	}
+}
+
+func TestResolveAttributeSynonymsAndFuzzy(t *testing.T) {
+	tbl := usOpen1954()
+	if col := resolveAttribute("cash prize", tbl); col != 5 {
+		t.Errorf("synonym resolution = %d, want 5", col)
+	}
+	if col := resolveAttribute("money", tbl); col != 5 {
+		t.Errorf("exact resolution = %d", col)
+	}
+	if col := resolveAttribute("total score", tbl); col != 3 {
+		t.Errorf("fuzzy resolution = %d, want 3 (score)", col)
+	}
+	if col := resolveAttribute("unrelated attribute name", tbl); col != -1 {
+		t.Errorf("bogus attribute resolved to %d", col)
+	}
+}
+
+func TestValuesMatch(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"570", "570", true},
+		{"570", "570.0", true},
+		{"$570", "570", true},
+		{"570", "571", false},
+		{"South_Africa", "south africa", true},
+		{"abc", "xyz", false},
+	}
+	for _, tc := range tests {
+		if got := valuesMatch(tc.a, tc.b); got != tc.want {
+			t.Errorf("valuesMatch(%q, %q) = %v", tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestFormatNumber(t *testing.T) {
+	if formatNumber(1710) != "1710" {
+		t.Error("integer formatting")
+	}
+	if formatNumber(3.5) != "3.5" {
+		t.Error("fraction formatting")
+	}
+}

@@ -1,0 +1,70 @@
+package claims
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// The parse patterns mirror the Render templates. Submatch layout:
+// context, attribute, entities, value — order varies per template.
+var (
+	reSum    = regexp.MustCompile(`^In (.+), the (.+?) for (.+) was (.+?) in total\.$`)
+	reAvg    = regexp.MustCompile(`^In (.+), the (.+?) for (.+) was (.+?) on average\.$`)
+	reMin    = regexp.MustCompile(`^In (.+), the lowest (.+?) among (.+) was (.+?)\.$`)
+	reMax    = regexp.MustCompile(`^In (.+), the highest (.+?) among (.+) was (.+?)\.$`)
+	reCount  = regexp.MustCompile(`^In (.+), (.+?) rows had a (.+?) of (.+?)\.$`)
+	reLookup = regexp.MustCompile(`^In (.+), the (.+?) for (.+) was (.+?)\.$`)
+)
+
+// Parse recovers the structured claim from its natural-language text. It
+// returns an error when the text matches none of the claim templates; the
+// caller then falls back to bag-of-words verification (as a generic LLM
+// would for free-form text).
+func Parse(text string) (Claim, error) {
+	t := strings.TrimSpace(text)
+	// Order matters: the lookup pattern is a suffix-relaxed superset of the
+	// aggregate patterns, so aggregates must be tried first.
+	if m := reSum.FindStringSubmatch(t); m != nil {
+		return Claim{Text: t, Context: m[1], Attribute: m[2], Entities: splitEntities(m[3]), Op: OpSum, Value: m[4]}, nil
+	}
+	if m := reAvg.FindStringSubmatch(t); m != nil {
+		return Claim{Text: t, Context: m[1], Attribute: m[2], Entities: splitEntities(m[3]), Op: OpAvg, Value: m[4]}, nil
+	}
+	if m := reMin.FindStringSubmatch(t); m != nil {
+		return Claim{Text: t, Context: m[1], Attribute: m[2], Entities: splitEntities(m[3]), Op: OpMin, Value: m[4]}, nil
+	}
+	if m := reMax.FindStringSubmatch(t); m != nil {
+		return Claim{Text: t, Context: m[1], Attribute: m[2], Entities: splitEntities(m[3]), Op: OpMax, Value: m[4]}, nil
+	}
+	if m := reCount.FindStringSubmatch(t); m != nil {
+		return Claim{Text: t, Context: m[1], Attribute: m[3], Entities: []string{m[4]}, Op: OpCount, Value: m[2]}, nil
+	}
+	if m := reLookup.FindStringSubmatch(t); m != nil {
+		return Claim{Text: t, Context: m[1], Attribute: m[2], Entities: splitEntities(m[3]), Op: OpLookup, Value: m[4]}, nil
+	}
+	return Claim{}, fmt.Errorf("claims: text matches no claim template: %q", text)
+}
+
+// splitEntities inverts joinEntities: "a, b, and c" / "a and b" / "a".
+func splitEntities(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var parts []string
+	if strings.Contains(s, ",") {
+		for _, p := range strings.Split(s, ",") {
+			p = strings.TrimSpace(p)
+			p = strings.TrimPrefix(p, "and ")
+			if p != "" {
+				parts = append(parts, strings.TrimSpace(p))
+			}
+		}
+		return parts
+	}
+	if i := strings.Index(s, " and "); i >= 0 {
+		return []string{strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+5:])}
+	}
+	return []string{s}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/datalake"
+	"repro/internal/verify"
+)
+
+// VerifyBatch verifies many generated objects concurrently, preserving input
+// order in the returned reports. parallelism bounds the number of in-flight
+// verifications (values < 1 mean sequential). The first error stops new work
+// from being dispatched and is returned.
+//
+// The pipeline is safe for concurrent verification: indexes and the lake are
+// read-only after build, the embedder cache and the provenance store are
+// internally synchronized, and verdict resolution is per-object.
+func (p *Pipeline) VerifyBatch(objects []verify.Generated, parallelism int, kinds ...datalake.Kind) ([]Report, error) {
+	if len(objects) == 0 {
+		return nil, nil
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism > len(objects) {
+		parallelism = len(objects)
+	}
+
+	reports := make([]Report, len(objects))
+	jobs := make(chan int)
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed() {
+					continue // drain without working
+				}
+				rep, err := p.Verify(objects[i], kinds...)
+				if err != nil {
+					fail(fmt.Errorf("core: verify object %d (%s): %w", i, objects[i].ID, err))
+					continue
+				}
+				reports[i] = rep
+			}
+		}()
+	}
+	for i := range objects {
+		if failed() {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return reports, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/claims"
+	"repro/internal/datalake"
+	"repro/internal/verify"
+)
+
+func TestVerifyBatchMatchesSequential(t *testing.T) {
+	lake := smallLake(t)
+	p := buildPipeline(t, lake, true)
+	e1, _ := lake.Table("e1")
+
+	var objects []verify.Generated
+	for row := 0; row < e1.NumRows(); row++ {
+		tp, _ := e1.TupleAt(row)
+		objects = append(objects, verify.NewTupleObject(fmt.Sprintf("b%d", row), tp, "money"))
+	}
+	objects = append(objects, golfClaimObject())
+
+	seq := make([]Report, len(objects))
+	for i, g := range objects {
+		rep, err := p.Verify(g, datalake.KindTuple, datalake.KindTable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[i] = rep
+	}
+
+	par, err := p.VerifyBatch(objects, 4, datalake.KindTuple, datalake.KindTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("batch returned %d reports", len(par))
+	}
+	for i := range seq {
+		if par[i].Verdict != seq[i].Verdict {
+			t.Errorf("object %d: batch %v vs sequential %v", i, par[i].Verdict, seq[i].Verdict)
+		}
+		if len(par[i].Evidence) != len(seq[i].Evidence) {
+			t.Errorf("object %d: evidence counts differ", i)
+		}
+	}
+}
+
+func TestVerifyBatchEdgeCases(t *testing.T) {
+	lake := smallLake(t)
+	p := buildPipeline(t, lake, true)
+
+	// Empty input.
+	if reps, err := p.VerifyBatch(nil, 4); reps != nil || err != nil {
+		t.Errorf("empty batch = %v, %v", reps, err)
+	}
+	// parallelism < 1 degrades to sequential.
+	reps, err := p.VerifyBatch([]verify.Generated{golfClaimObject()}, 0, datalake.KindTable)
+	if err != nil || len(reps) != 1 || reps[0].Verdict != verify.Refuted {
+		t.Errorf("sequential fallback = %v, %v", reps, err)
+	}
+}
+
+func TestVerifyBatchPropagatesErrors(t *testing.T) {
+	lake := smallLake(t)
+	// An agent whose local verifier rejects its pairs surfaces an error.
+	indexer, err := BuildIndexer(lake, DefaultIndexerConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPipeline(t, lake, true)
+
+	// Build a claim object that causes pipeline failure indirectly is hard;
+	// instead verify that an unresolvable evidence path cannot happen here
+	// and use a broken verifier via a fresh pipeline.
+	_ = indexer
+	badAgent := verify.NewAgent(failingVerifier{})
+	bp, err := NewPipeline(lake, p.Indexer(), p.rerankers, badAgent, nil, nil, DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = bp.VerifyBatch([]verify.Generated{golfClaimObject(), golfClaimObject()}, 2, datalake.KindTable)
+	if err == nil {
+		t.Error("batch swallowed verifier error")
+	}
+}
+
+// failingVerifier always errors, for error-path tests.
+type failingVerifier struct{}
+
+func (failingVerifier) Name() string                                  { return "failing" }
+func (failingVerifier) Supports(verify.Generated, datalake.Kind) bool { return true }
+func (failingVerifier) Verify(verify.Generated, datalake.Instance) (verify.Result, error) {
+	return verify.Result{}, fmt.Errorf("synthetic failure")
+}
+
+func TestVerifyBatchLargeParallel(t *testing.T) {
+	lake := smallLake(t)
+	p := buildPipeline(t, lake, true)
+	var objects []verify.Generated
+	for i := 0; i < 40; i++ {
+		c := claims.Claim{
+			Context:   "1954 u.s. open (golf)",
+			Entities:  []string{"tommy bolt"},
+			Attribute: "money",
+			Op:        claims.OpLookup,
+			Value:     fmt.Sprintf("%d", 500+i),
+		}
+		c.Render()
+		objects = append(objects, verify.NewClaimObject(fmt.Sprintf("c%d", i), c))
+	}
+	reps, err := p.VerifyBatch(objects, 8, datalake.KindTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		want := verify.Refuted
+		if 500+i == 570 {
+			want = verify.Verified
+		}
+		if rep.Verdict != want {
+			t.Errorf("claim %d verdict = %v, want %v", i, rep.Verdict, want)
+		}
+	}
+	// Provenance recorded every run exactly once.
+	if got := p.Provenance().Len(); got != len(objects) {
+		t.Errorf("provenance records = %d, want %d", got, len(objects))
+	}
+}

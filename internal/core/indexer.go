@@ -1,0 +1,360 @@
+// Package core assembles VerifAI's pipeline — Indexer, Combiner, Reranker,
+// and Verifier Agent (Figures 2 and 3 of the paper) — into an end-to-end
+// verification service over a multi-modal data lake, with provenance
+// recording and trust-weighted verdict resolution.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datalake"
+	"repro/internal/doc"
+	"repro/internal/embed"
+	"repro/internal/invindex"
+	"repro/internal/provenance"
+	"repro/internal/vecindex"
+)
+
+// VectorIndexKind selects the semantic index implementation.
+type VectorIndexKind int
+
+const (
+	// VectorFlat is exact brute-force search (Faiss IndexFlat).
+	VectorFlat VectorIndexKind = iota
+	// VectorIVF is inverted-file search over k-means cells (Faiss IVF-Flat).
+	VectorIVF
+	// VectorLSH is random-hyperplane hashing (Faiss IndexLSH).
+	VectorLSH
+)
+
+// vectorIndex is the write+search interface all vecindex types satisfy.
+type vectorIndex interface {
+	vecindex.Searcher
+	Add(id string, v embed.Vector) error
+}
+
+// IndexerConfig controls index construction.
+type IndexerConfig struct {
+	// Seed drives the embedding space and IVF/LSH randomness.
+	Seed uint64
+	// EmbedDim is the embedding dimension (default 64).
+	EmbedDim int
+	// EnableBM25 turns on the content-based index (default on via
+	// DefaultIndexerConfig).
+	EnableBM25 bool
+	// EnableVector turns on the semantic index.
+	EnableVector bool
+	// Vector selects the semantic index implementation.
+	Vector VectorIndexKind
+	// IVFLists / IVFProbes parameterize VectorIVF.
+	IVFLists  int
+	IVFProbes int
+	// LSHBits / LSHTables parameterize VectorLSH.
+	LSHBits   int
+	LSHTables int
+	// Kinds lists the instance granularities to index. Tables are indexed
+	// whole AND per-tuple when both kinds are present, matching the paper's
+	// lake of tuples, tables, and text.
+	Kinds []datalake.Kind
+	// ChunkTokens bounds text chunks for the semantic index (the paper's
+	// "chunked text files"); <= 0 indexes whole documents.
+	ChunkTokens int
+}
+
+// DefaultIndexerConfig indexes every modality with both index families.
+func DefaultIndexerConfig(seed uint64) IndexerConfig {
+	return IndexerConfig{
+		Seed:         seed,
+		EmbedDim:     128,
+		EnableBM25:   true,
+		EnableVector: true,
+		Vector:       VectorFlat,
+		IVFLists:     64,
+		IVFProbes:    8,
+		LSHBits:      16,
+		LSHTables:    8,
+		Kinds: []datalake.Kind{
+			datalake.KindTable, datalake.KindTuple, datalake.KindText, datalake.KindEntity,
+		},
+		ChunkTokens: 0,
+	}
+}
+
+// Indexer is VerifAI's Indexer module: task-agnostic content-based (BM25)
+// and semantic-based (vector) indexes over lake instances, partitioned by
+// modality so retrieval can target the data types a task needs.
+type Indexer struct {
+	lake *datalake.Lake
+	emb  *embed.Embedder
+	cfg  IndexerConfig
+
+	bm25 map[datalake.Kind]*invindex.Index
+	vec  map[datalake.Kind]vectorIndex
+}
+
+// BuildIndexer indexes the lake's instances per cfg. The lake must be fully
+// ingested first; instances added to the lake afterwards are not visible to
+// the indexer.
+func BuildIndexer(lake *datalake.Lake, cfg IndexerConfig) (*Indexer, error) {
+	if cfg.EmbedDim <= 0 {
+		cfg.EmbedDim = 64
+	}
+	if !cfg.EnableBM25 && !cfg.EnableVector {
+		return nil, fmt.Errorf("core: indexer needs at least one index family enabled")
+	}
+	ix := &Indexer{
+		lake: lake,
+		emb:  embed.NewEmbedder(cfg.EmbedDim, cfg.Seed),
+		cfg:  cfg,
+		bm25: make(map[datalake.Kind]*invindex.Index),
+		vec:  make(map[datalake.Kind]vectorIndex),
+	}
+	for _, kind := range cfg.Kinds {
+		if cfg.EnableBM25 {
+			ix.bm25[kind] = invindex.New()
+		}
+		if cfg.EnableVector {
+			v, err := ix.newVectorIndex()
+			if err != nil {
+				return nil, err
+			}
+			ix.vec[kind] = v
+		}
+	}
+	if err := ix.ingest(); err != nil {
+		return nil, err
+	}
+	// Train IVF cells after bulk load.
+	if cfg.EnableVector && cfg.Vector == VectorIVF {
+		for _, v := range ix.vec {
+			if ivf, ok := v.(*vecindex.IVF); ok {
+				ivf.Train()
+			}
+		}
+	}
+	return ix, nil
+}
+
+// Embedder exposes the shared embedding space (the reranker uses the same
+// space for late interaction).
+func (ix *Indexer) Embedder() *embed.Embedder { return ix.emb }
+
+func (ix *Indexer) newVectorIndex() (vectorIndex, error) {
+	switch ix.cfg.Vector {
+	case VectorFlat:
+		return vecindex.NewFlat(ix.cfg.EmbedDim, vecindex.Cosine), nil
+	case VectorIVF:
+		return vecindex.NewIVF(ix.cfg.EmbedDim, vecindex.Cosine, ix.cfg.IVFLists, ix.cfg.IVFProbes, ix.cfg.Seed), nil
+	case VectorLSH:
+		return vecindex.NewLSH(ix.cfg.EmbedDim, ix.cfg.LSHBits, ix.cfg.LSHTables, ix.cfg.Seed), nil
+	default:
+		return nil, fmt.Errorf("core: unknown vector index kind %d", int(ix.cfg.Vector))
+	}
+}
+
+// wantKind reports whether the config indexes this granularity.
+func (ix *Indexer) wantKind(kind datalake.Kind) bool {
+	for _, k := range ix.cfg.Kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// ingest walks the lake and feeds both index families.
+func (ix *Indexer) ingest() error {
+	if ix.wantKind(datalake.KindTable) || ix.wantKind(datalake.KindTuple) {
+		for _, tid := range ix.lake.TableIDs() {
+			t, ok := ix.lake.Table(tid)
+			if !ok {
+				return fmt.Errorf("core: lake table %q vanished during ingest", tid)
+			}
+			if ix.wantKind(datalake.KindTable) {
+				id := datalake.TableInstanceID(tid)
+				if err := ix.add(datalake.KindTable, id, t.SerializeForIndex()); err != nil {
+					return err
+				}
+			}
+			if ix.wantKind(datalake.KindTuple) {
+				for row := range t.Rows {
+					tp, _ := t.TupleAt(row)
+					id := datalake.TupleInstanceID(tid, row)
+					if err := ix.add(datalake.KindTuple, id, tp.SerializeForIndex()); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if ix.wantKind(datalake.KindText) {
+		for _, did := range ix.lake.DocIDs() {
+			d, ok := ix.lake.Document(did)
+			if !ok {
+				return fmt.Errorf("core: lake document %q vanished during ingest", did)
+			}
+			id := datalake.TextInstanceID(did)
+			if err := ix.addText(id, d); err != nil {
+				return err
+			}
+		}
+	}
+	if ix.wantKind(datalake.KindEntity) {
+		g := ix.lake.Graph()
+		for _, e := range g.Entities() {
+			id := datalake.EntityInstanceID(e)
+			if err := ix.add(datalake.KindEntity, id, g.SerializeEntity(e)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// add indexes one instance in both families.
+func (ix *Indexer) add(kind datalake.Kind, id, text string) error {
+	if b, ok := ix.bm25[kind]; ok {
+		if err := b.Add(id, text); err != nil {
+			return fmt.Errorf("core: bm25 add %s: %w", id, err)
+		}
+	}
+	if v, ok := ix.vec[kind]; ok {
+		if err := v.Add(id, ix.emb.EmbedText(text)); err != nil {
+			return fmt.Errorf("core: vector add %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// addText indexes a document: BM25 over the whole text, vectors per chunk
+// (the paper's "chunked text files ... indexed by Faiss"). Chunk vectors
+// share the document's instance ID suffixless for BM25; for vectors each
+// chunk gets a sub-ID that maps back to the document at combine time.
+func (ix *Indexer) addText(id string, d *doc.Document) error {
+	if b, ok := ix.bm25[datalake.KindText]; ok {
+		if err := b.Add(id, d.SerializeForIndex()); err != nil {
+			return fmt.Errorf("core: bm25 add %s: %w", id, err)
+		}
+	}
+	v, ok := ix.vec[datalake.KindText]
+	if !ok {
+		return nil
+	}
+	if ix.cfg.ChunkTokens <= 0 {
+		if err := v.Add(id, ix.emb.EmbedText(d.SerializeForIndex())); err != nil {
+			return fmt.Errorf("core: vector add %s: %w", id, err)
+		}
+		return nil
+	}
+	for _, ch := range doc.ChunkDocument(d, ix.cfg.ChunkTokens) {
+		chunkID := fmt.Sprintf("%s@%d", id, ch.Seq)
+		if err := v.Add(chunkID, ix.emb.EmbedText(d.Title+" "+ch.Text)); err != nil {
+			return fmt.Errorf("core: vector add %s: %w", chunkID, err)
+		}
+	}
+	return nil
+}
+
+// Retrieve runs the task-agnostic retrieval for the query against the given
+// kinds (all configured kinds when none given): top-k per index family per
+// kind. It returns the raw hits (for provenance) and the combined,
+// deduplicated candidate IDs in best-first order — the Combiner of
+// Section 3.1.
+func (ix *Indexer) Retrieve(query string, k int, kinds ...datalake.Kind) ([]provenance.RetrievalHit, []string) {
+	if len(kinds) == 0 {
+		kinds = ix.cfg.Kinds
+	}
+	var hits []provenance.RetrievalHit
+	var qvec embed.Vector
+	if ix.cfg.EnableVector {
+		qvec = ix.emb.EmbedText(query)
+	}
+	for _, kind := range kinds {
+		if b, ok := ix.bm25[kind]; ok {
+			for rank, h := range b.Search(query, k) {
+				hits = append(hits, provenance.RetrievalHit{Index: "bm25", InstanceID: h.ID, Score: h.Score, Rank: rank})
+			}
+		}
+		if v, ok := ix.vec[kind]; ok {
+			for rank, h := range v.Search(qvec, k) {
+				hits = append(hits, provenance.RetrievalHit{Index: "vector", InstanceID: chunkParent(h.ID), Score: h.Score, Rank: rank})
+			}
+		}
+	}
+	return hits, combine(hits)
+}
+
+// RetrieveFamily retrieves from a single index family ("bm25" or "vector"),
+// for the Combiner ablation. Unknown family names return nothing.
+func (ix *Indexer) RetrieveFamily(query, family string, k int, kinds ...datalake.Kind) []string {
+	if len(kinds) == 0 {
+		kinds = ix.cfg.Kinds
+	}
+	var hits []provenance.RetrievalHit
+	switch family {
+	case "bm25":
+		for _, kind := range kinds {
+			if b, ok := ix.bm25[kind]; ok {
+				for rank, h := range b.Search(query, k) {
+					hits = append(hits, provenance.RetrievalHit{Index: family, InstanceID: h.ID, Score: h.Score, Rank: rank})
+				}
+			}
+		}
+	case "vector":
+		if !ix.cfg.EnableVector {
+			return nil
+		}
+		qvec := ix.emb.EmbedText(query)
+		for _, kind := range kinds {
+			if v, ok := ix.vec[kind]; ok {
+				for rank, h := range v.Search(qvec, k) {
+					hits = append(hits, provenance.RetrievalHit{Index: family, InstanceID: chunkParent(h.ID), Score: h.Score, Rank: rank})
+				}
+			}
+		}
+	}
+	return combine(hits)
+}
+
+// chunkParent strips a chunk suffix ("text:doc-1@2" → "text:doc-1").
+func chunkParent(id string) string {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '@' {
+			return id[:i]
+		}
+		if id[i] < '0' || id[i] > '9' {
+			break
+		}
+	}
+	return id
+}
+
+// combine merges hits from all indexes, deduplicating by instance ID — the
+// Combiner of Section 3.1. Ordering uses reciprocal-rank fusion
+// (score = Σ 1/(60+rank) over the index lists containing the instance), the
+// standard way to merge rankings from incomparable scoring functions:
+// instances both families agree on rise, and one family's noise cannot bury
+// the other's best hits.
+func combine(hits []provenance.RetrievalHit) []string {
+	if len(hits) == 0 {
+		return nil
+	}
+	const rrfK = 60
+	scores := make(map[string]float64, len(hits))
+	order := make([]string, 0, len(hits))
+	for _, h := range hits {
+		if _, seen := scores[h.InstanceID]; !seen {
+			order = append(order, h.InstanceID)
+		}
+		scores[h.InstanceID] += 1 / float64(rrfK+h.Rank)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		si, sj := scores[order[i]], scores[order[j]]
+		if si != sj {
+			return si > sj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}

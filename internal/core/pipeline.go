@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datalake"
+	"repro/internal/provenance"
+	"repro/internal/rerank"
+	"repro/internal/trust"
+	"repro/internal/verify"
+)
+
+// PipelineConfig controls the end-to-end verification flow.
+type PipelineConfig struct {
+	// TopK is the task-agnostic retrieval depth per index family (the paper
+	// notes k is typically large, 100–1000, because the Indexer is
+	// task-agnostic; the reranker shrinks it).
+	TopK int
+	// TopKPrime is the task-aware depth after reranking (paper: k′ = 5).
+	TopKPrime int
+	// UseReranker toggles the Reranker module; when off, the combined
+	// candidates are truncated to TopKPrime in combiner order (the
+	// ablation's baseline).
+	UseReranker bool
+}
+
+// DefaultPipelineConfig returns the paper's settings.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{TopK: 100, TopKPrime: 5, UseReranker: true}
+}
+
+// Pipeline is the assembled VerifAI system.
+type Pipeline struct {
+	lake      *datalake.Lake
+	indexer   *Indexer
+	rerankers *rerank.Registry
+	agent     *verify.Agent
+	prov      *provenance.Store
+	trust     map[string]float64
+	cfg       PipelineConfig
+}
+
+// NewPipeline assembles a pipeline. sourceTrust maps source IDs to trust in
+// [0,1]; missing sources default to their lake prior (or 0.5). A nil
+// provenance store disables lineage recording.
+func NewPipeline(lake *datalake.Lake, indexer *Indexer, rr *rerank.Registry, agent *verify.Agent,
+	prov *provenance.Store, sourceTrust map[string]float64, cfg PipelineConfig) (*Pipeline, error) {
+	if lake == nil || indexer == nil || rr == nil || agent == nil {
+		return nil, fmt.Errorf("core: pipeline needs lake, indexer, rerankers, and agent")
+	}
+	if cfg.TopK <= 0 || cfg.TopKPrime <= 0 {
+		return nil, fmt.Errorf("core: non-positive retrieval depths (TopK=%d, TopKPrime=%d)", cfg.TopK, cfg.TopKPrime)
+	}
+	if sourceTrust == nil {
+		sourceTrust = make(map[string]float64)
+	}
+	return &Pipeline{
+		lake: lake, indexer: indexer, rerankers: rr, agent: agent,
+		prov: prov, trust: sourceTrust, cfg: cfg,
+	}, nil
+}
+
+// Provenance returns the pipeline's lineage store (nil when disabled).
+func (p *Pipeline) Provenance() *provenance.Store { return p.prov }
+
+// Lake returns the underlying data lake.
+func (p *Pipeline) Lake() *datalake.Lake { return p.lake }
+
+// Indexer returns the pipeline's indexer.
+func (p *Pipeline) Indexer() *Indexer { return p.indexer }
+
+// SourceTrust returns the trust assigned to a source (its lake prior, then
+// 0.5, when not explicitly set).
+func (p *Pipeline) SourceTrust(sourceID string) float64 {
+	if t, ok := p.trust[sourceID]; ok {
+		return t
+	}
+	if s, ok := p.lake.Source(sourceID); ok {
+		return s.TrustPrior
+	}
+	return 0.5
+}
+
+// SetSourceTrust overrides a source's trust (e.g. from trust.Estimate).
+func (p *Pipeline) SetSourceTrust(sourceID string, t float64) {
+	p.trust[sourceID] = t
+}
+
+// Evidence is one verified evidence instance in a report.
+type Evidence struct {
+	// Instance is the lake instance used as evidence.
+	Instance datalake.Instance
+	// RerankScore is the task-aware relevance score.
+	RerankScore float64
+	// Result is the verifier's decision.
+	Result verify.Result
+	// SourceTrust is the trust of the evidence's source at decision time.
+	SourceTrust float64
+}
+
+// Report is the outcome of verifying one generated object.
+type Report struct {
+	// Object is the generated data under verification.
+	Object verify.Generated
+	// Evidence lists the verified instances in rerank order.
+	Evidence []Evidence
+	// Verdict is the trust-weighted resolution over the evidence verdicts.
+	Verdict verify.Verdict
+	// Confidence is the winning verdict's share of trust-weighted votes
+	// among decisive (non-NotRelated) evidence; 0 when nothing was decisive.
+	Confidence float64
+	// ProvenanceSeq is the lineage record's sequence number (-1 when
+	// provenance is disabled).
+	ProvenanceSeq int
+}
+
+// Retrieve runs only the Indexer+Combiner stage, for retrieval experiments.
+func (p *Pipeline) Retrieve(g verify.Generated, k int, kinds ...datalake.Kind) ([]provenance.RetrievalHit, []string) {
+	return p.indexer.Retrieve(g.Query(), k, kinds...)
+}
+
+// Verify runs the full pipeline for a generated object: retrieve → combine
+// → rerank → verify each evidence instance → resolve a final verdict by
+// trust-weighted vote → record provenance.
+//
+// kinds restricts the evidence modalities (e.g. only tables for textual
+// claims, as in the paper's Section 4 setting); empty means all indexed
+// modalities.
+func (p *Pipeline) Verify(g verify.Generated, kinds ...datalake.Kind) (Report, error) {
+	query := g.Query()
+	hits, combined := p.indexer.Retrieve(query, p.cfg.TopK, kinds...)
+
+	// Resolve candidates. Resolution failures indicate index/lake drift and
+	// are surfaced, not skipped.
+	instances := make([]datalake.Instance, 0, len(combined))
+	for _, id := range combined {
+		inst, err := p.lake.Resolve(id)
+		if err != nil {
+			return Report{}, fmt.Errorf("core: resolve candidate: %w", err)
+		}
+		instances = append(instances, inst)
+	}
+
+	// Task-aware reranking to top-k′.
+	var ordered []datalake.Instance
+	var rerankEntries []provenance.RerankEntry
+	if p.cfg.UseReranker {
+		q := toRerankQuery(g)
+		scored := p.rerankers.Rerank(q, instances, p.cfg.TopKPrime)
+		byID := make(map[string]datalake.Instance, len(instances))
+		for _, in := range instances {
+			byID[in.ID] = in
+		}
+		for rank, s := range scored {
+			ordered = append(ordered, byID[s.ID])
+			rerankEntries = append(rerankEntries, provenance.RerankEntry{InstanceID: s.ID, Score: s.Score, Rank: rank})
+		}
+	} else {
+		n := p.cfg.TopKPrime
+		if n > len(instances) {
+			n = len(instances)
+		}
+		ordered = instances[:n]
+		for rank, in := range ordered {
+			rerankEntries = append(rerankEntries, provenance.RerankEntry{InstanceID: in.ID, Rank: rank})
+		}
+	}
+
+	// Verify each evidence instance via the Agent.
+	report := Report{Object: g, ProvenanceSeq: -1}
+	votes := make(map[string][]float64)
+	var decisions []provenance.VerifierDecision
+	for i, in := range ordered {
+		res, err := p.agent.Verify(g, in)
+		if err != nil {
+			return Report{}, err
+		}
+		st := p.SourceTrust(in.SourceID)
+		ev := Evidence{Instance: in, Result: res, SourceTrust: st}
+		if p.cfg.UseReranker {
+			ev.RerankScore = rerankEntries[i].Score
+		}
+		report.Evidence = append(report.Evidence, ev)
+		decisions = append(decisions, provenance.VerifierDecision{
+			InstanceID:  in.ID,
+			SourceID:    in.SourceID,
+			Verifier:    res.Verifier,
+			Verdict:     res.Verdict.String(),
+			Explanation: res.Explanation,
+			SourceTrust: st,
+		})
+		if res.Verdict != verify.NotRelated {
+			votes[res.Verdict.String()] = append(votes[res.Verdict.String()], st)
+		}
+	}
+
+	// Resolve: trust-weighted majority over decisive verdicts.
+	resolution := "no decisive evidence"
+	report.Verdict = verify.NotRelated
+	if len(votes) > 0 {
+		label, share := trust.WeightedVerdict(votes)
+		report.Confidence = share
+		resolution = "trust-weighted majority"
+		switch label {
+		case verify.Verified.String():
+			report.Verdict = verify.Verified
+		case verify.Refuted.String():
+			report.Verdict = verify.Refuted
+		}
+	}
+
+	if p.prov != nil {
+		report.ProvenanceSeq = p.prov.Append(provenance.Record{
+			ObjectID:     g.ID,
+			Query:        query,
+			Hits:         hits,
+			Combined:     combined,
+			Reranked:     rerankEntries,
+			Decisions:    decisions,
+			FinalVerdict: report.Verdict.String(),
+			Resolution:   resolution,
+		})
+	}
+	return report, nil
+}
+
+// toRerankQuery converts a generated object into the reranker's query view.
+func toRerankQuery(g verify.Generated) rerank.Query {
+	q := rerank.Query{Text: g.Query()}
+	switch g.Kind {
+	case verify.KindTuple:
+		tp := g.Tuple
+		q.Tuple = &tp
+	case verify.KindClaim:
+		c := g.Claim
+		q.Claim = &c
+	}
+	return q
+}

@@ -1,0 +1,343 @@
+// Package datalake implements the multi-modal data lake: a single catalog
+// over tables, text documents, and knowledge-graph entities, with per-source
+// metadata for trust scoring. Data instances — the unit of retrieval and
+// verification in the paper — are addressed by stable string IDs:
+//
+//	table:<tableID>          a whole table
+//	tuple:<tableID>#<row>    one row of a table
+//	text:<docID>             a text document
+//	entity:<name>            a knowledge-graph entity neighborhood
+package datalake
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/doc"
+	"repro/internal/kg"
+	"repro/internal/table"
+)
+
+// Kind classifies a data instance.
+type Kind int
+
+const (
+	// KindTable is a whole relational table.
+	KindTable Kind = iota
+	// KindTuple is a single row of a table.
+	KindTuple
+	// KindText is a text document.
+	KindText
+	// KindEntity is a knowledge-graph entity neighborhood.
+	KindEntity
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTable:
+		return "table"
+	case KindTuple:
+		return "tuple"
+	case KindText:
+		return "text"
+	case KindEntity:
+		return "entity"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Source describes a dataset contributing instances to the lake.
+type Source struct {
+	// ID is the stable source identifier.
+	ID string
+	// Name is a human-readable label ("TabFact", "WikiTable-TURL", ...).
+	Name string
+	// TrustPrior is the initial trustworthiness in [0,1] before the trust
+	// module refines it. Defaults to 0.5 (unknown).
+	TrustPrior float64
+}
+
+// Instance is a resolved data instance: exactly one of Table, Tuple, Doc, or
+// Entity is populated according to Kind.
+type Instance struct {
+	ID       string
+	Kind     Kind
+	SourceID string
+
+	Table  *table.Table
+	Tuple  *table.Tuple
+	Doc    *doc.Document
+	Entity string
+	// Graph is set for entity instances so callers can expand the
+	// neighborhood.
+	Graph *kg.Graph
+}
+
+// Serialize flattens the instance's content into a single string, the form
+// both indexes consume.
+func (in Instance) Serialize() string {
+	switch in.Kind {
+	case KindTable:
+		return in.Table.SerializeForIndex()
+	case KindTuple:
+		return in.Tuple.SerializeForIndex()
+	case KindText:
+		return in.Doc.SerializeForIndex()
+	case KindEntity:
+		return in.Graph.SerializeEntity(in.Entity)
+	default:
+		return ""
+	}
+}
+
+// Lake is the multi-modal data lake catalog. Ingestion methods take an
+// exclusive lock; lookups take a shared lock, so a built lake can be queried
+// concurrently.
+type Lake struct {
+	mu      sync.RWMutex
+	tables  map[string]*table.Table
+	docs    map[string]*doc.Document
+	graph   *kg.Graph
+	sources map[string]Source
+
+	tableIDs []string
+	docIDs   []string
+}
+
+// New returns an empty lake.
+func New() *Lake {
+	return &Lake{
+		tables:  make(map[string]*table.Table),
+		docs:    make(map[string]*doc.Document),
+		graph:   kg.NewGraph(),
+		sources: make(map[string]Source),
+	}
+}
+
+// AddSource registers (or overwrites) a source description. A zero
+// TrustPrior is normalized to 0.5.
+func (l *Lake) AddSource(s Source) {
+	if s.TrustPrior == 0 {
+		s.TrustPrior = 0.5
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sources[s.ID] = s
+}
+
+// Source returns the source metadata for id; ok is false when unknown.
+func (l *Lake) Source(id string) (Source, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s, ok := l.sources[id]
+	return s, ok
+}
+
+// Sources returns all registered sources sorted by ID.
+func (l *Lake) Sources() []Source {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Source, 0, len(l.sources))
+	for _, s := range l.sources {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AddTable ingests a table. The table's ID must be unique.
+func (l *Lake) AddTable(t *table.Table) error {
+	if t.ID == "" {
+		return fmt.Errorf("datalake: table with empty ID")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.tables[t.ID]; dup {
+		return fmt.Errorf("datalake: duplicate table id %q", t.ID)
+	}
+	l.tables[t.ID] = t
+	l.tableIDs = append(l.tableIDs, t.ID)
+	return nil
+}
+
+// AddDocument ingests a text document. The document's ID must be unique.
+func (l *Lake) AddDocument(d *doc.Document) error {
+	if d.ID == "" {
+		return fmt.Errorf("datalake: document with empty ID")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.docs[d.ID]; dup {
+		return fmt.Errorf("datalake: duplicate document id %q", d.ID)
+	}
+	l.docs[d.ID] = d
+	l.docIDs = append(l.docIDs, d.ID)
+	return nil
+}
+
+// AddTriple ingests a knowledge-graph triple.
+func (l *Lake) AddTriple(t kg.Triple) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.graph.Add(t)
+}
+
+// Graph returns the lake's knowledge graph (shared; query-only after build).
+func (l *Lake) Graph() *kg.Graph {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.graph
+}
+
+// Table returns the table with the given ID.
+func (l *Lake) Table(id string) (*table.Table, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	t, ok := l.tables[id]
+	return t, ok
+}
+
+// Document returns the document with the given ID.
+func (l *Lake) Document(id string) (*doc.Document, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	d, ok := l.docs[id]
+	return d, ok
+}
+
+// TableIDs returns all table IDs in insertion order (copy).
+func (l *Lake) TableIDs() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]string(nil), l.tableIDs...)
+}
+
+// DocIDs returns all document IDs in insertion order (copy).
+func (l *Lake) DocIDs() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]string(nil), l.docIDs...)
+}
+
+// Stats summarizes lake contents, matching the corpus statistics the paper
+// reports (tables, tuples, text files).
+type Stats struct {
+	Tables   int
+	Tuples   int
+	Docs     int
+	Triples  int
+	Sources  int
+	Entities int
+}
+
+// Stats computes the current lake statistics.
+func (l *Lake) Stats() Stats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s := Stats{
+		Tables:  len(l.tables),
+		Docs:    len(l.docs),
+		Triples: l.graph.Len(),
+		Sources: len(l.sources),
+	}
+	for _, t := range l.tables {
+		s.Tuples += t.NumRows()
+	}
+	s.Entities = len(l.graph.Entities())
+	return s
+}
+
+// --- instance addressing ---
+
+// TableInstanceID returns the instance ID of a whole table.
+func TableInstanceID(tableID string) string { return "table:" + tableID }
+
+// TupleInstanceID returns the instance ID of row `row` of a table.
+func TupleInstanceID(tableID string, row int) string {
+	return "tuple:" + tableID + "#" + strconv.Itoa(row)
+}
+
+// TextInstanceID returns the instance ID of a document.
+func TextInstanceID(docID string) string { return "text:" + docID }
+
+// EntityInstanceID returns the instance ID of a KG entity neighborhood.
+func EntityInstanceID(entity string) string { return "entity:" + entity }
+
+// KindOf parses the kind prefix of an instance ID.
+func KindOf(instanceID string) (Kind, bool) {
+	switch {
+	case strings.HasPrefix(instanceID, "table:"):
+		return KindTable, true
+	case strings.HasPrefix(instanceID, "tuple:"):
+		return KindTuple, true
+	case strings.HasPrefix(instanceID, "text:"):
+		return KindText, true
+	case strings.HasPrefix(instanceID, "entity:"):
+		return KindEntity, true
+	default:
+		return 0, false
+	}
+}
+
+// Resolve maps an instance ID to its content. It returns an error for
+// malformed IDs or IDs referencing missing data — a resolution failure
+// indicates index/lake drift, which callers surface rather than skip.
+func (l *Lake) Resolve(instanceID string) (Instance, error) {
+	kind, ok := KindOf(instanceID)
+	if !ok {
+		return Instance{}, fmt.Errorf("datalake: malformed instance id %q", instanceID)
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	switch kind {
+	case KindTable:
+		id := strings.TrimPrefix(instanceID, "table:")
+		t, ok := l.tables[id]
+		if !ok {
+			return Instance{}, fmt.Errorf("datalake: unknown table %q", id)
+		}
+		return Instance{ID: instanceID, Kind: KindTable, SourceID: t.SourceID, Table: t}, nil
+	case KindTuple:
+		rest := strings.TrimPrefix(instanceID, "tuple:")
+		hash := strings.LastIndexByte(rest, '#')
+		if hash < 0 {
+			return Instance{}, fmt.Errorf("datalake: malformed tuple id %q", instanceID)
+		}
+		tableID := rest[:hash]
+		row, err := strconv.Atoi(rest[hash+1:])
+		if err != nil {
+			return Instance{}, fmt.Errorf("datalake: malformed tuple row in %q: %w", instanceID, err)
+		}
+		t, ok := l.tables[tableID]
+		if !ok {
+			return Instance{}, fmt.Errorf("datalake: unknown table %q", tableID)
+		}
+		tp, ok := t.TupleAt(row)
+		if !ok {
+			return Instance{}, fmt.Errorf("datalake: row %d out of range for table %q", row, tableID)
+		}
+		return Instance{ID: instanceID, Kind: KindTuple, SourceID: t.SourceID, Tuple: &tp}, nil
+	case KindText:
+		id := strings.TrimPrefix(instanceID, "text:")
+		d, ok := l.docs[id]
+		if !ok {
+			return Instance{}, fmt.Errorf("datalake: unknown document %q", id)
+		}
+		return Instance{ID: instanceID, Kind: KindText, SourceID: d.SourceID, Doc: d}, nil
+	case KindEntity:
+		name := strings.TrimPrefix(instanceID, "entity:")
+		ts := l.graph.About(name)
+		if len(ts) == 0 {
+			return Instance{}, fmt.Errorf("datalake: unknown entity %q", name)
+		}
+		src := ts[0].SourceID
+		return Instance{ID: instanceID, Kind: KindEntity, SourceID: src, Entity: name, Graph: l.graph}, nil
+	default:
+		return Instance{}, fmt.Errorf("datalake: unhandled kind %v", kind)
+	}
+}

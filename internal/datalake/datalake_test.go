@@ -1,0 +1,204 @@
+package datalake
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/doc"
+	"repro/internal/kg"
+	"repro/internal/table"
+)
+
+func sampleLake(t *testing.T) *Lake {
+	t.Helper()
+	l := New()
+	l.AddSource(Source{ID: "s1", Name: "tables", TrustPrior: 0.8})
+	l.AddSource(Source{ID: "s2", Name: "texts"})
+
+	tbl := table.New("t1", "1954 open (golf)", []string{"player", "money"})
+	tbl.SourceID = "s1"
+	tbl.MustAppendRow("tommy bolt", "570")
+	tbl.MustAppendRow("ben hogan", "570")
+	if err := l.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+
+	d := &doc.Document{ID: "d1", Title: "Tommy Bolt", Text: "A golfer.", SourceID: "s2"}
+	if err := l.AddDocument(d); err != nil {
+		t.Fatal(err)
+	}
+
+	l.AddTriple(kg.Triple{Subject: "tommy bolt", Predicate: "sport", Object: "golf", SourceID: "s1"})
+	return l
+}
+
+func TestSources(t *testing.T) {
+	l := sampleLake(t)
+	s, ok := l.Source("s1")
+	if !ok || s.TrustPrior != 0.8 {
+		t.Errorf("Source(s1) = %+v, %v", s, ok)
+	}
+	// Zero prior normalizes to 0.5.
+	s2, _ := l.Source("s2")
+	if s2.TrustPrior != 0.5 {
+		t.Errorf("zero prior = %v, want 0.5", s2.TrustPrior)
+	}
+	all := l.Sources()
+	if len(all) != 2 || all[0].ID != "s1" || all[1].ID != "s2" {
+		t.Errorf("Sources = %v", all)
+	}
+	if _, ok := l.Source("ghost"); ok {
+		t.Error("unknown source found")
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	l := sampleLake(t)
+	if err := l.AddTable(table.New("t1", "dup", nil)); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if err := l.AddTable(table.New("", "empty id", nil)); err == nil {
+		t.Error("empty table id accepted")
+	}
+	if err := l.AddDocument(&doc.Document{ID: "d1"}); err == nil {
+		t.Error("duplicate doc accepted")
+	}
+	if err := l.AddDocument(&doc.Document{}); err == nil {
+		t.Error("empty doc id accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := sampleLake(t)
+	s := l.Stats()
+	if s.Tables != 1 || s.Tuples != 2 || s.Docs != 1 || s.Triples != 1 || s.Sources != 2 || s.Entities != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestInstanceIDs(t *testing.T) {
+	if TableInstanceID("t1") != "table:t1" {
+		t.Error("TableInstanceID")
+	}
+	if TupleInstanceID("t1", 3) != "tuple:t1#3" {
+		t.Error("TupleInstanceID")
+	}
+	if TextInstanceID("d1") != "text:d1" {
+		t.Error("TextInstanceID")
+	}
+	if EntityInstanceID("x") != "entity:x" {
+		t.Error("EntityInstanceID")
+	}
+	for id, want := range map[string]Kind{
+		"table:t1":   KindTable,
+		"tuple:t1#0": KindTuple,
+		"text:d1":    KindText,
+		"entity:x":   KindEntity,
+	} {
+		if got, ok := KindOf(id); !ok || got != want {
+			t.Errorf("KindOf(%q) = %v, %v", id, got, ok)
+		}
+	}
+	if _, ok := KindOf("garbage"); ok {
+		t.Error("KindOf(garbage) ok")
+	}
+}
+
+func TestResolveTable(t *testing.T) {
+	l := sampleLake(t)
+	in, err := l.Resolve("table:t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Kind != KindTable || in.Table == nil || in.SourceID != "s1" {
+		t.Errorf("resolved table = %+v", in)
+	}
+	if !strings.Contains(in.Serialize(), "tommy bolt") {
+		t.Error("table serialization missing content")
+	}
+}
+
+func TestResolveTuple(t *testing.T) {
+	l := sampleLake(t)
+	in, err := l.Resolve("tuple:t1#1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Kind != KindTuple || in.Tuple == nil {
+		t.Fatalf("resolved tuple = %+v", in)
+	}
+	if v, _ := in.Tuple.Value("player"); v != "ben hogan" {
+		t.Errorf("tuple row wrong: %v", in.Tuple)
+	}
+}
+
+func TestResolveText(t *testing.T) {
+	l := sampleLake(t)
+	in, err := l.Resolve("text:d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Kind != KindText || in.Doc == nil || in.Doc.Title != "Tommy Bolt" {
+		t.Errorf("resolved text = %+v", in)
+	}
+}
+
+func TestResolveEntity(t *testing.T) {
+	l := sampleLake(t)
+	in, err := l.Resolve("entity:tommy bolt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Kind != KindEntity || in.Graph == nil || in.Entity != "tommy bolt" {
+		t.Errorf("resolved entity = %+v", in)
+	}
+	if !strings.Contains(in.Serialize(), "sport") {
+		t.Error("entity serialization missing predicate")
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	l := sampleLake(t)
+	for _, id := range []string{
+		"garbage",
+		"table:ghost",
+		"tuple:t1",      // missing row separator
+		"tuple:t1#x",    // non-numeric row
+		"tuple:t1#99",   // row out of range
+		"tuple:ghost#0", // unknown table
+		"text:ghost",
+		"entity:nobody",
+	} {
+		if _, err := l.Resolve(id); err == nil {
+			t.Errorf("Resolve(%q) succeeded", id)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindTable.String() != "table" || KindTuple.String() != "tuple" ||
+		KindText.String() != "text" || KindEntity.String() != "entity" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown Kind String empty")
+	}
+}
+
+func TestIDOrdering(t *testing.T) {
+	l := New()
+	for _, id := range []string{"b", "a", "c"} {
+		if err := l.AddTable(table.New(id, "cap", []string{"x"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := l.TableIDs()
+	if ids[0] != "b" || ids[1] != "a" || ids[2] != "c" {
+		t.Errorf("TableIDs not insertion-ordered: %v", ids)
+	}
+	// Returned slice is a copy.
+	ids[0] = "mutated"
+	if l.TableIDs()[0] != "b" {
+		t.Error("TableIDs shares storage")
+	}
+}

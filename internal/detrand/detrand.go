@@ -1,0 +1,155 @@
+// Package detrand supplies deterministic pseudo-randomness for the whole
+// reproduction. Every stochastic decision (corpus sampling, simulated model
+// knowledge, calibrated error injection) is derived by hashing a (seed,
+// stable-key) pair through SplitMix64, so results are bit-reproducible
+// across runs, machines, and iteration orders. No global state, no
+// math/rand, no time-based seeding.
+package detrand
+
+import "math"
+
+// splitmix64 advances the SplitMix64 state and returns the next output.
+// Reference: Steele, Lea, Flood — "Fast Splittable Pseudorandom Number
+// Generators" (OOPSLA 2014).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fnv1a64 hashes s with FNV-1a, used to fold string keys into the stream.
+func fnv1a64(s string) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Hash combines a numeric seed and any number of string keys into a single
+// well-mixed 64-bit value.
+func Hash(seed uint64, keys ...string) uint64 {
+	h := splitmix64(seed)
+	for _, k := range keys {
+		h = splitmix64(h ^ fnv1a64(k))
+	}
+	return h
+}
+
+// Uniform returns a deterministic value in [0,1) keyed by (seed, keys).
+func Uniform(seed uint64, keys ...string) float64 {
+	// Use the top 53 bits for a uniformly distributed double.
+	return float64(Hash(seed, keys...)>>11) / float64(1<<53)
+}
+
+// Bernoulli returns true with probability p, keyed by (seed, keys).
+func Bernoulli(p float64, seed uint64, keys ...string) bool {
+	return Uniform(seed, keys...) < p
+}
+
+// Rand is a sequential deterministic generator for code that needs a stream
+// of values (corpus generation). The zero value is NOT valid; use New.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded by seed and optional string keys.
+func New(seed uint64, keys ...string) *Rand {
+	return &Rand{state: Hash(seed, keys...)}
+}
+
+// Uint64 returns the next 64-bit value in the stream.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns the next value in [0,1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a value in [0,n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("detrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// IntRange returns a value in [lo, hi]. It panics when hi < lo.
+func (r *Rand) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("detrand: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate via Box–Muller.
+func (r *Rand) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0,n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates style.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a deterministic element index weighted by weights (all >= 0).
+// It panics when weights is empty or sums to zero.
+func (r *Rand) Pick(weights []float64) int {
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("detrand: negative weight")
+		}
+		sum += w
+	}
+	if len(weights) == 0 || sum == 0 {
+		panic("detrand: Pick with no mass")
+	}
+	x := r.Float64() * sum
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,205 @@
+package detrand
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	if Hash(1, "a", "b") != Hash(1, "a", "b") {
+		t.Fatal("Hash is not deterministic")
+	}
+	if Hash(1, "a") == Hash(2, "a") {
+		t.Error("Hash ignores seed")
+	}
+	if Hash(1, "a") == Hash(1, "b") {
+		t.Error("Hash ignores keys")
+	}
+	// Key order matters.
+	if Hash(1, "a", "b") == Hash(1, "b", "a") {
+		t.Error("Hash ignores key order")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	f := func(seed uint64, key string) bool {
+		u := Uniform(seed, key)
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += Uniform(42, "mean", string(rune(i)), string(rune(i/500)))
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if Bernoulli(0.3, 7, "bern", string(rune(i))) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Errorf("Bernoulli rate = %v, want ~0.3", rate)
+	}
+}
+
+func TestRandStreamDeterministic(t *testing.T) {
+	a := New(9, "stream")
+	b := New(9, "stream")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("streams with same seed diverge")
+		}
+	}
+	c := New(10, "stream")
+	same := true
+	a2 := New(9, "stream")
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("streams with different seeds coincide")
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(2)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("IntRange(3,5) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("IntRange(3,5) hit %d values, want 3", len(seen))
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(3)
+	p := r.Perm(20)
+	if len(p) != 20 {
+		t.Fatalf("Perm length %d", len(p))
+	}
+	sorted := append([]int(nil), p...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("Perm is not a permutation: %v", p)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(4)
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	sorted := append([]int(nil), vals...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("Shuffle lost elements: %v", vals)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(5)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(6)
+	counts := make([]int, 3)
+	weights := []float64{1, 2, 7}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("Pick weight %d: rate %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestPickPanics(t *testing.T) {
+	r := New(7)
+	for _, weights := range [][]float64{nil, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pick(%v) did not panic", weights)
+				}
+			}()
+			r.Pick(weights)
+		}()
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(8)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.8) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.8) > 0.02 {
+		t.Errorf("Bool(0.8) rate = %v", rate)
+	}
+}

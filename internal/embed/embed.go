@@ -1,0 +1,198 @@
+// Package embed provides the semantic-representation substrate: dense
+// vector embeddings for text, tuples, and individual tokens. It stands in
+// for the paper's BERT-based tuple-to-vec / text-to-vec encoders.
+//
+// The embedder is deterministic and corpus-independent: every token maps to
+// a fixed pseudo-random Gaussian direction derived by hashing (seed, token),
+// and a text embeds as the normalized, frequency-damped sum of its token
+// vectors. Semantically related lake items share surface tokens, so related
+// items land near each other in the space — which is exactly the property
+// the semantic index path needs to exercise the same code shape as
+// BERT+Faiss (embed → ANN search → candidates).
+package embed
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/detrand"
+	"repro/internal/textutil"
+)
+
+// Vector is a dense embedding.
+type Vector []float32
+
+// Dot returns the inner product of a and b. Panics on dimension mismatch.
+func Dot(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic("embed: dimension mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity of a and b (0 when either is zero).
+func Cosine(a, b Vector) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// L2Sq returns the squared Euclidean distance between a and b.
+func L2Sq(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic("embed: dimension mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Normalize scales v to unit norm in place. Zero vectors stay zero.
+func Normalize(v Vector) {
+	n := Norm(v)
+	if n == 0 {
+		return
+	}
+	inv := float32(1 / n)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Clone returns a copy of v.
+func Clone(v Vector) Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Embedder produces embeddings of a fixed dimension. It is safe for
+// concurrent use: the token-vector cache is guarded by a read/write mutex,
+// since queries introduce new tokens at search time, not only during index
+// construction.
+type Embedder struct {
+	dim  int
+	seed uint64
+
+	mu    sync.RWMutex
+	cache map[string]Vector
+}
+
+// NewEmbedder returns an embedder of dimension dim seeded by seed.
+// Dimension must be positive.
+func NewEmbedder(dim int, seed uint64) *Embedder {
+	if dim <= 0 {
+		panic("embed: non-positive dimension")
+	}
+	return &Embedder{dim: dim, seed: seed, cache: make(map[string]Vector)}
+}
+
+// Dim returns the embedding dimension.
+func (e *Embedder) Dim() int { return e.dim }
+
+// TokenVector returns the unit-norm embedding of a single (stemmed) token.
+// The same token always maps to the same vector. Callers must not mutate
+// the returned vector.
+func (e *Embedder) TokenVector(token string) Vector {
+	e.mu.RLock()
+	v, ok := e.cache[token]
+	e.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r := detrand.New(e.seed, "token", token)
+	v = make(Vector, e.dim)
+	for i := range v {
+		v[i] = float32(r.NormFloat64())
+	}
+	Normalize(v)
+	e.mu.Lock()
+	e.cache[token] = v
+	e.mu.Unlock()
+	return v
+}
+
+// EmbedTokens returns one vector per analyzed token of s, in order, for
+// late-interaction (ColBERT-style) scoring. Returns nil for token-free text.
+func (e *Embedder) EmbedTokens(s string) []Vector {
+	tokens := textutil.TokenizeFiltered(s)
+	if len(tokens) == 0 {
+		return nil
+	}
+	out := make([]Vector, len(tokens))
+	for i, t := range tokens {
+		out[i] = e.TokenVector(t)
+	}
+	return out
+}
+
+// EmbedText returns the document-level embedding of s: the sum of token
+// vectors with sub-linear (sqrt) frequency damping, normalized to unit
+// length. Damping prevents one repeated token from dominating, mirroring
+// TF-saturation in learned encoders.
+func (e *Embedder) EmbedText(s string) Vector {
+	tokens := textutil.TokenizeFiltered(s)
+	out := make(Vector, e.dim)
+	if len(tokens) == 0 {
+		return out
+	}
+	freq := make(map[string]float64, len(tokens))
+	for _, t := range tokens {
+		freq[t]++
+	}
+	// Accumulate in sorted token order: float addition is not associative,
+	// and map iteration order would make embeddings bitwise nondeterministic.
+	uniq := make([]string, 0, len(freq))
+	for t := range freq {
+		uniq = append(uniq, t)
+	}
+	sort.Strings(uniq)
+	for _, t := range uniq {
+		w := float32(math.Sqrt(freq[t]))
+		tv := e.TokenVector(t)
+		for i := range out {
+			out[i] += w * tv[i]
+		}
+	}
+	Normalize(out)
+	return out
+}
+
+// EmbedTuple embeds a serialized tuple: the caption, column names, and cell
+// values ("tuple-to-vec" in the paper). Column names are included so tuples
+// from same-schema tables cluster.
+func (e *Embedder) EmbedTuple(caption string, columns, values []string) Vector {
+	var parts []string
+	if caption != "" {
+		parts = append(parts, caption)
+	}
+	parts = append(parts, columns...)
+	parts = append(parts, values...)
+	joined := ""
+	for i, p := range parts {
+		if i > 0 {
+			joined += " "
+		}
+		joined += p
+	}
+	return e.EmbedText(joined)
+}

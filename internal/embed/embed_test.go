@@ -1,0 +1,207 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorOps(t *testing.T) {
+	a := Vector{1, 0, 0}
+	b := Vector{0, 1, 0}
+	if Dot(a, b) != 0 {
+		t.Error("Dot orthogonal != 0")
+	}
+	if Dot(a, a) != 1 {
+		t.Error("Dot self != 1")
+	}
+	if Cosine(a, a) != 1 {
+		t.Error("Cosine self != 1")
+	}
+	if Cosine(a, b) != 0 {
+		t.Error("Cosine orthogonal != 0")
+	}
+	if L2Sq(a, b) != 2 {
+		t.Error("L2Sq != 2")
+	}
+	if Norm(Vector{3, 4}) != 5 {
+		t.Error("Norm != 5")
+	}
+	zero := Vector{0, 0, 0}
+	if Cosine(a, zero) != 0 {
+		t.Error("Cosine with zero vector != 0")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Dot":  func() { Dot(Vector{1}, Vector{1, 2}) },
+		"L2Sq": func() { L2Sq(Vector{1}, Vector{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	Normalize(v)
+	if math.Abs(Norm(v)-1) > 1e-6 {
+		t.Errorf("Normalize: norm = %v", Norm(v))
+	}
+	zero := Vector{0, 0}
+	Normalize(zero)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Error("Normalize mutated zero vector")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{1, 2}
+	c := Clone(v)
+	c[0] = 9
+	if v[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestNewEmbedderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEmbedder(0) did not panic")
+		}
+	}()
+	NewEmbedder(0, 1)
+}
+
+func TestTokenVectorDeterministic(t *testing.T) {
+	e1 := NewEmbedder(32, 7)
+	e2 := NewEmbedder(32, 7)
+	a := e1.TokenVector("golf")
+	b := e2.TokenVector("golf")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("token vectors differ across embedders with same seed")
+		}
+	}
+	c := NewEmbedder(32, 8).TokenVector("golf")
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("token vectors identical across different seeds")
+	}
+}
+
+func TestTokenVectorUnitNorm(t *testing.T) {
+	e := NewEmbedder(64, 1)
+	for _, tok := range []string{"golf", "district", "money", "x"} {
+		if n := Norm(e.TokenVector(tok)); math.Abs(n-1) > 1e-6 {
+			t.Errorf("TokenVector(%q) norm = %v", tok, n)
+		}
+	}
+}
+
+func TestTokenVectorsNearOrthogonal(t *testing.T) {
+	// Distinct tokens in a moderately high dimension should be nearly
+	// orthogonal (|cos| < 0.5 is a very loose bound at dim 128).
+	e := NewEmbedder(128, 1)
+	tokens := []string{"golf", "election", "climate", "company", "album"}
+	for i := range tokens {
+		for j := i + 1; j < len(tokens); j++ {
+			c := Cosine(e.TokenVector(tokens[i]), e.TokenVector(tokens[j]))
+			if math.Abs(c) > 0.5 {
+				t.Errorf("tokens %q/%q cosine %v", tokens[i], tokens[j], c)
+			}
+		}
+	}
+}
+
+func TestEmbedText(t *testing.T) {
+	e := NewEmbedder(64, 1)
+	v := e.EmbedText("golf tournament prize money")
+	if math.Abs(Norm(v)-1) > 1e-6 {
+		t.Errorf("EmbedText norm = %v", Norm(v))
+	}
+	empty := e.EmbedText("")
+	if Norm(empty) != 0 {
+		t.Error("EmbedText(\"\") is not zero")
+	}
+	// Stopword-only text embeds to zero.
+	stop := e.EmbedText("the of and is")
+	if Norm(stop) != 0 {
+		t.Error("stopword-only text is not zero")
+	}
+}
+
+func TestEmbedTextSimilarityOrdering(t *testing.T) {
+	e := NewEmbedder(128, 1)
+	q := e.EmbedText("golf tournament springfield prize money")
+	related := e.EmbedText("the springfield golf open had record prize money")
+	unrelated := e.EmbedText("monthly precipitation and record low temperatures")
+	if Cosine(q, related) <= Cosine(q, unrelated) {
+		t.Errorf("related %v <= unrelated %v", Cosine(q, related), Cosine(q, unrelated))
+	}
+}
+
+func TestEmbedTokens(t *testing.T) {
+	e := NewEmbedder(32, 1)
+	vecs := e.EmbedTokens("golf prize the")
+	if len(vecs) != 2 { // "the" filtered
+		t.Fatalf("EmbedTokens = %d vectors", len(vecs))
+	}
+	if e.EmbedTokens("") != nil {
+		t.Error("EmbedTokens empty != nil")
+	}
+}
+
+func TestEmbedTuple(t *testing.T) {
+	e := NewEmbedder(64, 1)
+	v1 := e.EmbedTuple("1954 open", []string{"player", "money"}, []string{"tommy bolt", "570"})
+	v2 := e.EmbedTuple("1954 open", []string{"player", "money"}, []string{"tommy bolt", "570"})
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("EmbedTuple not deterministic")
+		}
+	}
+	v3 := e.EmbedTuple("2001 season", []string{"week", "opponent"}, []string{"1", "riverton comets"})
+	if Cosine(v1, v3) > Cosine(v1, v2) {
+		t.Error("different tuples more similar than identical tuples")
+	}
+}
+
+func TestFrequencyDamping(t *testing.T) {
+	// Repeating a token must not dominate: sqrt damping keeps the rare
+	// token's contribution visible.
+	e := NewEmbedder(128, 1)
+	spam := e.EmbedText("golf golf golf golf golf golf golf golf treasure")
+	tv := e.TokenVector("treasur") // stemmed form of "treasure"
+	if Dot(spam, tv) <= 0.05 {
+		t.Errorf("rare token drowned out: dot = %v", Dot(spam, tv))
+	}
+}
+
+func TestEmbedQuickProperties(t *testing.T) {
+	e := NewEmbedder(32, 3)
+	f := func(s string) bool {
+		v := e.EmbedText(s)
+		if len(v) != 32 {
+			return false
+		}
+		n := Norm(v)
+		// Either zero (no tokens) or unit.
+		return n == 0 || math.Abs(n-1) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/textutil"
+)
+
+// BaselineResult is the no-evidence accuracy of the generator, matching the
+// paper's prose result: "The accuracy of ChatGPT in imputing missing values
+// for tuples and determining the correctness of claims is only 0.52 and
+// 0.54, respectively, in the absence of additional data."
+type BaselineResult struct {
+	// TupleAccuracy is the fraction of imputed values matching ground truth.
+	TupleAccuracy float64
+	// ClaimAccuracy is the fraction of claims the model judges correctly.
+	ClaimAccuracy float64
+	// TupleN / ClaimN are the task counts.
+	TupleN int
+	ClaimN int
+}
+
+// Baseline measures the generator without any lake evidence.
+func (e *Env) Baseline() BaselineResult {
+	var tuples, claims metrics.AccuracyTally
+	for _, t := range e.TupleTasks {
+		imputed, _ := e.Impute(t)
+		tuples.Observe(textutil.Fold(imputed) == textutil.Fold(t.TrueValue))
+	}
+	for i, ct := range e.ClaimTasks {
+		answer := e.Generator.JudgeClaim(fmt.Sprintf("claim:%04d", i), ct.Label)
+		claims.Observe(answer == ct.Label)
+	}
+	return BaselineResult{
+		TupleAccuracy: tuples.Accuracy(),
+		ClaimAccuracy: claims.Accuracy(),
+		TupleN:        tuples.Total(),
+		ClaimN:        claims.Total(),
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/datalake"
+	"repro/internal/metrics"
+	"repro/internal/verify"
+)
+
+// Table2Result reproduces Table 2: verifier accuracy.
+//
+//	paper:                    ChatGPT  PASTA
+//	(tuple, tuple+text)        0.88     n/a
+//	(text, relevant table)     0.75     0.89
+//	(text, retrieved table)    0.91     0.72
+type Table2Result struct {
+	TupleChatGPT          float64
+	RelevantTableChatGPT  float64
+	RelevantTablePasta    float64
+	RetrievedTableChatGPT float64
+	RetrievedTablePasta   float64
+
+	// Pair counts per row, for the report.
+	TuplePairs     int
+	RelevantPairs  int
+	RetrievedPairs int
+}
+
+// Table2 scores the verifiers against the noise-free oracle with the
+// paper's evaluation rules:
+//
+//  1. supporting evidence → the verifier must say Verified;
+//  2. refuting evidence → Refuted;
+//  3. unrelated evidence → NotRelated, except that PASTA (binary output) is
+//     also counted correct when it answers Refuted on unrelated evidence.
+func (e *Env) Table2() (Table2Result, error) {
+	oracle := verify.NewExactVerifier()
+	var res Table2Result
+
+	// Row 1: (tuple, tuple+text) with ChatGPT over the retrieved evidence.
+	var rowTuple metrics.AccuracyTally
+	for _, task := range e.TupleTasks {
+		_, tuple := e.Impute(task)
+		g := e.TupleObject(task, tuple)
+		evidence, err := e.RetrievedEvidence(g)
+		if err != nil {
+			return res, fmt.Errorf("experiments: table2 row1: %w", err)
+		}
+		for _, ev := range evidence {
+			truth, err := oracle.Verify(g, ev)
+			if err != nil {
+				return res, err
+			}
+			got, err := e.ChatGPT.Verify(g, ev)
+			if err != nil {
+				return res, err
+			}
+			rowTuple.Observe(got.Verdict == truth.Verdict)
+		}
+	}
+	res.TupleChatGPT = rowTuple.Accuracy()
+	res.TuplePairs = rowTuple.Total()
+
+	// Rows 2 and 3: (text, relevant table) and (text, retrieved table).
+	var relGPT, relPasta, retGPT, retPasta metrics.AccuracyTally
+	for i, task := range e.ClaimTasks {
+		g := e.ClaimObject(i, task)
+
+		// Relevant table: the claim's source table, paired directly.
+		relevant, err := e.Corpus.Lake.Resolve(task.RelevantTableID())
+		if err != nil {
+			return res, fmt.Errorf("experiments: table2 row2: %w", err)
+		}
+		if err := scorePair(oracle, e.ChatGPT, e.Pasta, g, relevant, &relGPT, &relPasta); err != nil {
+			return res, err
+		}
+
+		// Retrieved tables: the top-5 from the lake.
+		retrieved, err := e.RetrievedTables(g)
+		if err != nil {
+			return res, fmt.Errorf("experiments: table2 row3: %w", err)
+		}
+		for _, ev := range retrieved {
+			if err := scorePair(oracle, e.ChatGPT, e.Pasta, g, ev, &retGPT, &retPasta); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.RelevantTableChatGPT = relGPT.Accuracy()
+	res.RelevantTablePasta = relPasta.Accuracy()
+	res.RelevantPairs = relGPT.Total()
+	res.RetrievedTableChatGPT = retGPT.Accuracy()
+	res.RetrievedTablePasta = retPasta.Accuracy()
+	res.RetrievedPairs = retGPT.Total()
+	return res, nil
+}
+
+// scorePair scores both verifiers on one (claim, table) pair against the
+// oracle, applying the PASTA binary-output allowance.
+func scorePair(oracle *verify.ExactVerifier, gpt *verify.LLMVerifier, pasta *verify.PastaVerifier,
+	g verify.Generated, ev datalake.Instance, gptTally, pastaTally *metrics.AccuracyTally) error {
+	truth, err := oracle.Verify(g, ev)
+	if err != nil {
+		return err
+	}
+	got, err := gpt.Verify(g, ev)
+	if err != nil {
+		return err
+	}
+	gptTally.Observe(got.Verdict == truth.Verdict)
+
+	p, err := pasta.Verify(g, ev)
+	if err != nil {
+		return err
+	}
+	correct := p.Verdict == truth.Verdict ||
+		(truth.Verdict == verify.NotRelated && p.Verdict == verify.Refuted)
+	pastaTally.Observe(correct)
+	return nil
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datalake"
+	"repro/internal/metrics"
+)
+
+// VectorIndexPoint is one ANN index family's quality/latency measurement.
+type VectorIndexPoint struct {
+	// Recall is claim→table recall@5 using ONLY the semantic index.
+	Recall float64
+	// QueryMicros is the mean per-query latency in microseconds.
+	QueryMicros float64
+}
+
+// AblateVectorIndex compares the Faiss-substitute index families (Flat exact,
+// IVF over k-means cells, LSH) on semantic-only claim→table retrieval — the
+// quality/latency trade-off behind the paper's choice of ANN indexing for
+// large lakes. BM25 is disabled so only the vector path is measured.
+func (e *Env) AblateVectorIndex() (map[string]VectorIndexPoint, error) {
+	out := make(map[string]VectorIndexPoint)
+	kinds := []struct {
+		name string
+		kind core.VectorIndexKind
+	}{
+		{"flat", core.VectorFlat},
+		{"ivf", core.VectorIVF},
+		{"lsh", core.VectorLSH},
+	}
+	for _, k := range kinds {
+		cfg := core.DefaultIndexerConfig(e.Config.Corpus.Seed)
+		cfg.EnableBM25 = false
+		cfg.Vector = k.kind
+		cfg.Kinds = []datalake.Kind{datalake.KindTable}
+		indexer, err := core.BuildIndexer(e.Corpus.Lake, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: build %s indexer: %w", k.name, err)
+		}
+		var tally metrics.RecallTally
+		start := time.Now()
+		for i, task := range e.ClaimTasks {
+			g := e.ClaimObject(i, task)
+			_, ids := indexer.Retrieve(g.Query(), e.Config.TopKTables, datalake.KindTable)
+			tally.Observe(trim(ids, e.Config.TopKTables), set(task.RelevantTableID()))
+		}
+		elapsed := time.Since(start)
+		out[k.name] = VectorIndexPoint{
+			Recall:      tally.Recall(),
+			QueryMicros: float64(elapsed.Microseconds()) / float64(len(e.ClaimTasks)),
+		}
+	}
+	return out, nil
+}

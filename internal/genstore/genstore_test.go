@@ -1,0 +1,186 @@
+package genstore
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func sampleGen(id, template string) Generation {
+	return Generation{ID: id, Template: template, Prompt: "p-" + id, Output: "o-" + id}
+}
+
+func TestRecordAndGet(t *testing.T) {
+	s := NewStore()
+	if err := s.Record(sampleGen("g1", "tuple-completion")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(sampleGen("g1", "x")); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := s.Record(Generation{}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	g, ok := s.Get("g1")
+	if !ok || g.Prompt != "p-g1" || g.LatestVerdict() != "" {
+		t.Errorf("Get = %+v, %v", g, ok)
+	}
+	if _, ok := s.Get("ghost"); ok {
+		t.Error("ghost found")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestVerdictHistory(t *testing.T) {
+	s := NewStore()
+	if err := s.Record(sampleGen("g1", "t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVerdict("g1", VerdictEntry{Verdict: "Refuted", Confidence: 0.9, LakeStamp: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVerdict("g1", VerdictEntry{Verdict: "Verified", Confidence: 0.8, LakeStamp: "v2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVerdict("ghost", VerdictEntry{}); err == nil {
+		t.Error("verdict on ghost accepted")
+	}
+	g, _ := s.Get("g1")
+	if len(g.History) != 2 || g.LatestVerdict() != "Verified" {
+		t.Errorf("history = %+v", g.History)
+	}
+	// Returned copies are detached from the store.
+	g.History[0].Verdict = "mutated"
+	g2, _ := s.Get("g1")
+	if g2.History[0].Verdict != "Refuted" {
+		t.Error("Get shares history storage")
+	}
+}
+
+func TestByVerdict(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 4; i++ {
+		if err := s.Record(sampleGen(fmt.Sprintf("g%d", i), "t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.AddVerdict("g0", VerdictEntry{Verdict: "Verified"})
+	s.AddVerdict("g1", VerdictEntry{Verdict: "Refuted"})
+	s.AddVerdict("g2", VerdictEntry{Verdict: "Refuted"})
+	if got := s.ByVerdict("Refuted"); !reflect.DeepEqual(got, []string{"g1", "g2"}) {
+		t.Errorf("ByVerdict(Refuted) = %v", got)
+	}
+	if got := s.ByVerdict(""); !reflect.DeepEqual(got, []string{"g3"}) {
+		t.Errorf("ByVerdict(unverified) = %v", got)
+	}
+}
+
+func TestTemplateAccuracy(t *testing.T) {
+	s := NewStore()
+	s.Record(sampleGen("a", "tuple-completion"))
+	s.Record(sampleGen("b", "tuple-completion"))
+	s.Record(sampleGen("c", "claim-answer"))
+	s.AddVerdict("a", VerdictEntry{Verdict: "Verified"})
+	s.AddVerdict("b", VerdictEntry{Verdict: "Refuted"})
+	acc := s.TemplateAccuracy()
+	if acc["tuple-completion"]["Verified"] != 1 || acc["tuple-completion"]["Refuted"] != 1 {
+		t.Errorf("tuple template = %v", acc["tuple-completion"])
+	}
+	if acc["claim-answer"]["unverified"] != 1 {
+		t.Errorf("claim template = %v", acc["claim-answer"])
+	}
+	if got := s.Templates(); !reflect.DeepEqual(got, []string{"claim-answer", "tuple-completion"}) {
+		t.Errorf("Templates = %v", got)
+	}
+}
+
+func TestStaleAndReverify(t *testing.T) {
+	s := NewStore()
+	s.Record(sampleGen("g1", "t"))
+	s.Record(sampleGen("g2", "t"))
+	s.AddVerdict("g1", VerdictEntry{Verdict: "Verified", LakeStamp: "v1"})
+
+	// Against lake v1: g2 (never verified) is stale.
+	if got := s.StaleSince("v1"); !reflect.DeepEqual(got, []string{"g2"}) {
+		t.Errorf("StaleSince(v1) = %v", got)
+	}
+	// Against lake v2: both are stale.
+	if got := s.StaleSince("v2"); len(got) != 2 {
+		t.Errorf("StaleSince(v2) = %v", got)
+	}
+
+	n, err := s.Reverify("v2", func(g Generation) (VerdictEntry, error) {
+		return VerdictEntry{Verdict: "Refuted", Confidence: 1}, nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("Reverify = %d, %v", n, err)
+	}
+	if got := s.StaleSince("v2"); got != nil {
+		t.Errorf("still stale after reverify: %v", got)
+	}
+	g, _ := s.Get("g1")
+	if g.LatestVerdict() != "Refuted" || g.History[len(g.History)-1].LakeStamp != "v2" {
+		t.Errorf("g1 history after reverify = %+v", g.History)
+	}
+	// Errors propagate.
+	s.Record(sampleGen("g3", "t"))
+	if _, err := s.Reverify("v3", func(Generation) (VerdictEntry, error) {
+		return VerdictEntry{}, fmt.Errorf("verifier down")
+	}); err == nil {
+		t.Error("Reverify swallowed fn error")
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	s := NewStore()
+	s.Record(sampleGen("g1", "t"))
+	s.AddVerdict("g1", VerdictEntry{Verdict: "Verified", Confidence: 0.7, ProvenanceSeq: 3, LakeStamp: "v1"})
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Get("g1")
+	b, _ := loaded.Get("g1")
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("roundtrip mismatch:\n%+v\n%+v", a, b)
+	}
+	if _, err := ReadJSON(bytes.NewBufferString("{bad")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				if err := s.Record(sampleGen(id, "t")); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.AddVerdict(id, VerdictEntry{Verdict: "Verified"}); err != nil {
+					t.Error(err)
+					return
+				}
+				s.ByVerdict("Verified")
+				s.TemplateAccuracy()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 400 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,135 @@
+// Package invindex implements the content-based index of VerifAI's Indexer
+// module: an in-memory inverted index with Okapi BM25 ranking. It stands in
+// for Elasticsearch in the paper's architecture — lake instances (tuples,
+// tables, text files) are serialized to strings and indexed; queries are
+// serialized generated data objects.
+//
+// The index is safe for concurrent use: writes take an exclusive lock,
+// searches take a shared lock.
+package invindex
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/textutil"
+)
+
+// Analyzer converts a string into index terms. The default analyzer chain is
+// tokenize → stopword-filter → Porter stem (textutil.TokenizeFiltered).
+type Analyzer func(string) []string
+
+// posting records one document's occurrences of a term.
+type posting struct {
+	doc  int32 // internal document ordinal
+	freq int32 // term frequency in the document
+}
+
+// Index is a BM25 inverted index over string documents.
+type Index struct {
+	mu sync.RWMutex
+
+	analyze Analyzer
+	k1, b   float64
+
+	ids      []string       // ordinal -> external ID
+	byID     map[string]int // external ID -> ordinal
+	lengths  []int32        // ordinal -> token count
+	deleted  []bool         // tombstones
+	postings map[string][]posting
+	// totalLen is the sum of lengths of live documents, for avgdl.
+	totalLen int64
+	liveDocs int
+}
+
+// Option configures an Index.
+type Option func(*Index)
+
+// WithAnalyzer overrides the analysis chain.
+func WithAnalyzer(a Analyzer) Option { return func(ix *Index) { ix.analyze = a } }
+
+// WithBM25 overrides the BM25 parameters (defaults k1=1.2, b=0.75, the
+// Elasticsearch/Lucene defaults).
+func WithBM25(k1, b float64) Option {
+	return func(ix *Index) { ix.k1, ix.b = k1, b }
+}
+
+// New returns an empty index.
+func New(opts ...Option) *Index {
+	ix := &Index{
+		analyze:  textutil.TokenizeFiltered,
+		k1:       1.2,
+		b:        0.75,
+		byID:     make(map[string]int),
+		postings: make(map[string][]posting),
+	}
+	for _, o := range opts {
+		o(ix)
+	}
+	return ix
+}
+
+// Add indexes text under id. Re-adding an existing id returns an error:
+// documents are immutable, and the caller should Delete first (matching the
+// append-mostly ingest pattern of a data lake).
+func (ix *Index) Add(id, text string) error {
+	terms := ix.analyze(text)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ord, ok := ix.byID[id]; ok && !ix.deleted[ord] {
+		return fmt.Errorf("invindex: duplicate document id %q", id)
+	}
+	ord := len(ix.ids)
+	ix.ids = append(ix.ids, id)
+	ix.byID[id] = ord
+	ix.lengths = append(ix.lengths, int32(len(terms)))
+	ix.deleted = append(ix.deleted, false)
+	ix.totalLen += int64(len(terms))
+	ix.liveDocs++
+
+	freqs := make(map[string]int32, len(terms))
+	for _, t := range terms {
+		freqs[t]++
+	}
+	for t, f := range freqs {
+		ix.postings[t] = append(ix.postings[t], posting{doc: int32(ord), freq: f})
+	}
+	return nil
+}
+
+// Delete tombstones a document. Deleting an unknown or already-deleted id is
+// a no-op returning false.
+func (ix *Index) Delete(id string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ord, ok := ix.byID[id]
+	if !ok || ix.deleted[ord] {
+		return false
+	}
+	ix.deleted[ord] = true
+	ix.totalLen -= int64(ix.lengths[ord])
+	ix.liveDocs--
+	return true
+}
+
+// Len returns the number of live documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.liveDocs
+}
+
+// Contains reports whether id is indexed and live.
+func (ix *Index) Contains(id string) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ord, ok := ix.byID[id]
+	return ok && !ix.deleted[ord]
+}
+
+// Terms returns the number of distinct terms in the index.
+func (ix *Index) Terms() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}

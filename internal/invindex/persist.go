@@ -1,0 +1,99 @@
+package invindex
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the serialized form of an index. Tombstoned documents are
+// compacted away at save time, so a load never carries dead postings.
+type snapshot struct {
+	K1, B    float64
+	IDs      []string
+	Lengths  []int32
+	Postings map[string][]postingSnap
+}
+
+type postingSnap struct {
+	Doc  int32
+	Freq int32
+}
+
+// Save writes a compacted snapshot of the index to w using encoding/gob.
+// The analyzer is not serialized (functions cannot be); the loader supplies
+// it, and the caller is responsible for supplying the same chain that built
+// the index.
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	// Build ordinal remapping that skips tombstones.
+	remap := make([]int32, len(ix.ids))
+	var snap snapshot
+	snap.K1, snap.B = ix.k1, ix.b
+	for ord, id := range ix.ids {
+		if ix.deleted[ord] {
+			remap[ord] = -1
+			continue
+		}
+		remap[ord] = int32(len(snap.IDs))
+		snap.IDs = append(snap.IDs, id)
+		snap.Lengths = append(snap.Lengths, ix.lengths[ord])
+	}
+	snap.Postings = make(map[string][]postingSnap, len(ix.postings))
+	for t, plist := range ix.postings {
+		var out []postingSnap
+		for _, p := range plist {
+			if remap[p.doc] < 0 {
+				continue
+			}
+			out = append(out, postingSnap{Doc: remap[p.doc], Freq: p.freq})
+		}
+		if len(out) > 0 {
+			snap.Postings[t] = out
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("invindex: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot produced by Save. Options (typically WithAnalyzer)
+// apply after the snapshot's BM25 parameters are restored.
+func Load(r io.Reader, opts ...Option) (*Index, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("invindex: decode snapshot: %w", err)
+	}
+	ix := New()
+	ix.k1, ix.b = snap.K1, snap.B
+	for _, o := range opts {
+		o(ix)
+	}
+	ix.ids = snap.IDs
+	ix.lengths = snap.Lengths
+	ix.deleted = make([]bool, len(snap.IDs))
+	ix.byID = make(map[string]int, len(snap.IDs))
+	for ord, id := range snap.IDs {
+		if _, dup := ix.byID[id]; dup {
+			return nil, fmt.Errorf("invindex: snapshot has duplicate id %q", id)
+		}
+		ix.byID[id] = ord
+		ix.totalLen += int64(snap.Lengths[ord])
+	}
+	ix.liveDocs = len(snap.IDs)
+	ix.postings = make(map[string][]posting, len(snap.Postings))
+	for t, plist := range snap.Postings {
+		out := make([]posting, len(plist))
+		for i, p := range plist {
+			if p.Doc < 0 || int(p.Doc) >= len(snap.IDs) {
+				return nil, fmt.Errorf("invindex: snapshot posting for %q references unknown doc %d", t, p.Doc)
+			}
+			out[i] = posting{doc: p.Doc, freq: p.Freq}
+		}
+		ix.postings[t] = out
+	}
+	return ix, nil
+}

@@ -1,0 +1,173 @@
+package invindex
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Hit is one search result.
+type Hit struct {
+	// ID is the external document ID.
+	ID string
+	// Score is the BM25 score (higher is better).
+	Score float64
+}
+
+// Search returns the top-k documents for query by BM25 score, ties broken by
+// ascending ID for determinism. k <= 0 returns nil.
+func (ix *Index) Search(query string, k int) []Hit {
+	if k <= 0 {
+		return nil
+	}
+	terms := ix.analyze(query)
+	if len(terms) == 0 {
+		return nil
+	}
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.liveDocs == 0 {
+		return nil
+	}
+	avgdl := float64(ix.totalLen) / float64(ix.liveDocs)
+	n := float64(ix.liveDocs)
+
+	// Collapse duplicate query terms; BM25 treats repeated query terms as
+	// multiplied weight.
+	qf := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		qf[t]++
+	}
+
+	scores := make(map[int32]float64)
+	for t, qw := range qf {
+		plist, ok := ix.postings[t]
+		if !ok {
+			continue
+		}
+		// Live document frequency for IDF. Tombstoned postings still appear
+		// in the list but are skipped below; df uses live count.
+		df := 0
+		for _, p := range plist {
+			if !ix.deleted[p.doc] {
+				df++
+			}
+		}
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(1 + (n-float64(df)+0.5)/(float64(df)+0.5))
+		for _, p := range plist {
+			if ix.deleted[p.doc] {
+				continue
+			}
+			tf := float64(p.freq)
+			dl := float64(ix.lengths[p.doc])
+			norm := tf * (ix.k1 + 1) / (tf + ix.k1*(1-ix.b+ix.b*dl/avgdl))
+			scores[p.doc] += qw * idf * norm
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	return ix.topK(scores, k)
+}
+
+// scoredDoc pairs a document ordinal with its score inside the top-k heap.
+type scoredDoc struct {
+	doc   int32
+	score float64
+}
+
+// minHeap keeps the k best hits; the worst of the kept hits is at the root.
+type minHeap struct {
+	items []scoredDoc
+	ids   []string
+}
+
+func (h *minHeap) Len() int { return len(h.items) }
+func (h *minHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	// Inverted tie-break: with equal scores the lexicographically larger ID
+	// is "worse" so it gets evicted first, keeping smaller IDs.
+	return h.ids[a.doc] > h.ids[b.doc]
+}
+func (h *minHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *minHeap) Push(x interface{}) { h.items = append(h.items, x.(scoredDoc)) }
+func (h *minHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// topK selects the k best scored documents deterministically.
+// Caller must hold at least a read lock.
+func (ix *Index) topK(scores map[int32]float64, k int) []Hit {
+	h := &minHeap{ids: ix.ids, items: make([]scoredDoc, 0, k+1)}
+	for d, s := range scores {
+		heap.Push(h, scoredDoc{doc: d, score: s})
+		if h.Len() > k {
+			heap.Pop(h)
+		}
+	}
+	out := make([]Hit, h.Len())
+	for i := range out {
+		out[i] = Hit{ID: ix.ids[h.items[i].doc], Score: h.items[i].score}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Explain returns the per-term BM25 contributions for a (query, document)
+// pair, supporting the provenance requirement (challenge C4): why a piece of
+// evidence was retrieved. The map is term -> contribution; missing terms
+// contribute zero. ok is false when the document is unknown or deleted.
+func (ix *Index) Explain(query, id string) (map[string]float64, bool) {
+	terms := ix.analyze(query)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ord, okID := ix.byID[id]
+	if !okID || ix.deleted[ord] || ix.liveDocs == 0 {
+		return nil, false
+	}
+	avgdl := float64(ix.totalLen) / float64(ix.liveDocs)
+	n := float64(ix.liveDocs)
+	qf := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		qf[t]++
+	}
+	out := make(map[string]float64)
+	for t, qw := range qf {
+		plist := ix.postings[t]
+		df := 0
+		var tf float64
+		for _, p := range plist {
+			if ix.deleted[p.doc] {
+				continue
+			}
+			df++
+			if p.doc == int32(ord) {
+				tf = float64(p.freq)
+			}
+		}
+		if df == 0 || tf == 0 {
+			continue
+		}
+		idf := math.Log(1 + (n-float64(df)+0.5)/(float64(df)+0.5))
+		dl := float64(ix.lengths[ord])
+		norm := tf * (ix.k1 + 1) / (tf + ix.k1*(1-ix.b+ix.b*dl/avgdl))
+		out[t] = qw * idf * norm
+	}
+	return out, true
+}

@@ -1,0 +1,165 @@
+// Package kg implements the knowledge-graph modality the paper lists as a
+// lake data type and discusses under "Cross-Modal Verification" (Section 5):
+// a triple store with subject/predicate/object indexes and entity
+// neighborhood extraction for (text, knowledge-graph entity) verification.
+package kg
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/textutil"
+)
+
+// Triple is a (subject, predicate, object) statement.
+type Triple struct {
+	Subject   string
+	Predicate string
+	Object    string
+	// SourceID identifies the originating dataset for trust scoring.
+	SourceID string
+}
+
+// Graph is an in-memory triple store with exact-match indexes on folded
+// subject, predicate, and object. It is not safe for concurrent mutation;
+// build first, then query from any number of goroutines.
+type Graph struct {
+	triples []Triple
+	bySubj  map[string][]int
+	byPred  map[string][]int
+	byObj   map[string][]int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		bySubj: make(map[string][]int),
+		byPred: make(map[string][]int),
+		byObj:  make(map[string][]int),
+	}
+}
+
+// Add inserts a triple.
+func (g *Graph) Add(t Triple) {
+	i := len(g.triples)
+	g.triples = append(g.triples, t)
+	g.bySubj[textutil.Fold(t.Subject)] = append(g.bySubj[textutil.Fold(t.Subject)], i)
+	g.byPred[textutil.Fold(t.Predicate)] = append(g.byPred[textutil.Fold(t.Predicate)], i)
+	g.byObj[textutil.Fold(t.Object)] = append(g.byObj[textutil.Fold(t.Object)], i)
+}
+
+// Len returns the number of triples.
+func (g *Graph) Len() int { return len(g.triples) }
+
+// Triples returns all triples (shared slice; do not mutate).
+func (g *Graph) Triples() []Triple { return g.triples }
+
+// About returns every triple whose subject folds equal to entity.
+func (g *Graph) About(entity string) []Triple {
+	idx := g.bySubj[textutil.Fold(entity)]
+	out := make([]Triple, len(idx))
+	for i, j := range idx {
+		out[i] = g.triples[j]
+	}
+	return out
+}
+
+// Mentioning returns every triple where entity appears as subject or object.
+func (g *Graph) Mentioning(entity string) []Triple {
+	f := textutil.Fold(entity)
+	seen := make(map[int]struct{})
+	var idx []int
+	for _, j := range g.bySubj[f] {
+		if _, ok := seen[j]; !ok {
+			seen[j] = struct{}{}
+			idx = append(idx, j)
+		}
+	}
+	for _, j := range g.byObj[f] {
+		if _, ok := seen[j]; !ok {
+			seen[j] = struct{}{}
+			idx = append(idx, j)
+		}
+	}
+	sort.Ints(idx)
+	out := make([]Triple, len(idx))
+	for i, j := range idx {
+		out[i] = g.triples[j]
+	}
+	return out
+}
+
+// Lookup returns the objects of triples matching (subject, predicate).
+func (g *Graph) Lookup(subject, predicate string) []string {
+	fs, fp := textutil.Fold(subject), textutil.Fold(predicate)
+	var out []string
+	for _, j := range g.bySubj[fs] {
+		if textutil.Fold(g.triples[j].Predicate) == fp {
+			out = append(out, g.triples[j].Object)
+		}
+	}
+	return out
+}
+
+// Entities returns the sorted set of all subjects.
+func (g *Graph) Entities() []string {
+	seen := make(map[string]string, len(g.bySubj))
+	for _, t := range g.triples {
+		f := textutil.Fold(t.Subject)
+		if _, ok := seen[f]; !ok {
+			seen[f] = t.Subject
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for _, orig := range seen {
+		out = append(out, orig)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SerializeEntity flattens an entity's neighborhood into a single string for
+// content-based indexing ("subject predicate object. ..."), the KG analogue
+// of table serialization.
+func (g *Graph) SerializeEntity(entity string) string {
+	ts := g.About(entity)
+	if len(ts) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, t := range ts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Subject)
+		b.WriteByte(' ')
+		b.WriteString(t.Predicate)
+		b.WriteByte(' ')
+		b.WriteString(t.Object)
+		b.WriteByte('.')
+	}
+	return b.String()
+}
+
+// FromTuple derives triples from a table tuple: one triple per non-key
+// attribute, with the key value as subject and the column name as predicate.
+// This implements the cross-modal bridge the paper sketches for integrating
+// relational data with knowledge graphs.
+func FromTuple(caption string, columns, values []string, keyCol int, sourceID string) []Triple {
+	if keyCol < 0 || keyCol >= len(columns) || len(columns) != len(values) {
+		return nil
+	}
+	subject := values[keyCol]
+	out := make([]Triple, 0, len(columns)-1)
+	for i, c := range columns {
+		if i == keyCol || values[i] == "" {
+			continue
+		}
+		pred := c
+		if caption != "" {
+			pred = c + " of " + caption
+		}
+		out = append(out, Triple{Subject: subject, Predicate: pred, Object: values[i], SourceID: sourceID})
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+// Package lakeio persists a multi-modal data lake to a directory and loads
+// it back — the interchange format between cmd/lakegen (which generates
+// synthetic lakes) and cmd/verifai (which verifies against them).
+//
+// Layout:
+//
+//	<dir>/manifest.json    catalog: sources, table entries, doc entries
+//	<dir>/tables/<id>.csv  one CSV per table (header row + data rows)
+//	<dir>/texts/<id>.txt   one text file per document
+package lakeio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datalake"
+	"repro/internal/doc"
+	"repro/internal/kg"
+	"repro/internal/table"
+)
+
+// manifest is the on-disk catalog.
+type manifest struct {
+	Sources []datalake.Source `json:"sources"`
+	Tables  []tableEntry      `json:"tables"`
+	Docs    []docEntry        `json:"docs"`
+	Triples []kg.Triple       `json:"triples,omitempty"`
+}
+
+type tableEntry struct {
+	ID       string `json:"id"`
+	Caption  string `json:"caption"`
+	SourceID string `json:"source_id"`
+	File     string `json:"file"`
+}
+
+type docEntry struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	EntityID string `json:"entity_id,omitempty"`
+	SourceID string `json:"source_id"`
+	File     string `json:"file"`
+}
+
+// Save writes the lake to dir, creating it if needed. Existing files are
+// overwritten; unrelated files in dir are left alone.
+func Save(lake *datalake.Lake, dir string) error {
+	for _, sub := range []string{"", "tables", "texts"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return fmt.Errorf("lakeio: mkdir: %w", err)
+		}
+	}
+	var m manifest
+	m.Sources = lake.Sources()
+
+	for _, tid := range lake.TableIDs() {
+		t, ok := lake.Table(tid)
+		if !ok {
+			return fmt.Errorf("lakeio: table %q vanished", tid)
+		}
+		rel := filepath.Join("tables", tid+".csv")
+		f, err := os.Create(filepath.Join(dir, rel))
+		if err != nil {
+			return fmt.Errorf("lakeio: create table file: %w", err)
+		}
+		err = table.WriteCSV(f, t)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("lakeio: write table %q: %w", tid, err)
+		}
+		m.Tables = append(m.Tables, tableEntry{ID: tid, Caption: t.Caption, SourceID: t.SourceID, File: rel})
+	}
+
+	for _, did := range lake.DocIDs() {
+		d, ok := lake.Document(did)
+		if !ok {
+			return fmt.Errorf("lakeio: document %q vanished", did)
+		}
+		rel := filepath.Join("texts", did+".txt")
+		if err := os.WriteFile(filepath.Join(dir, rel), []byte(d.Text), 0o644); err != nil {
+			return fmt.Errorf("lakeio: write doc %q: %w", did, err)
+		}
+		m.Docs = append(m.Docs, docEntry{ID: did, Title: d.Title, EntityID: d.EntityID, SourceID: d.SourceID, File: rel})
+	}
+
+	m.Triples = lake.Graph().Triples()
+
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lakeio: marshal manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+		return fmt.Errorf("lakeio: write manifest: %w", err)
+	}
+	return nil
+}
+
+// Load reads a lake directory written by Save.
+func Load(dir string) (*datalake.Lake, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("lakeio: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("lakeio: parse manifest: %w", err)
+	}
+	lake := datalake.New()
+	for _, s := range m.Sources {
+		lake.AddSource(s)
+	}
+	for _, te := range m.Tables {
+		f, err := os.Open(filepath.Join(dir, te.File))
+		if err != nil {
+			return nil, fmt.Errorf("lakeio: open table file: %w", err)
+		}
+		t, err := table.ReadCSV(f, te.ID, te.Caption)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lakeio: read table %q: %w", te.ID, err)
+		}
+		t.SourceID = te.SourceID
+		if err := lake.AddTable(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, de := range m.Docs {
+		text, err := os.ReadFile(filepath.Join(dir, de.File))
+		if err != nil {
+			return nil, fmt.Errorf("lakeio: read doc %q: %w", de.ID, err)
+		}
+		d := &doc.Document{ID: de.ID, Title: de.Title, EntityID: de.EntityID, SourceID: de.SourceID, Text: string(text)}
+		if err := lake.AddDocument(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, tr := range m.Triples {
+		lake.AddTriple(tr)
+	}
+	return lake, nil
+}

@@ -1,0 +1,180 @@
+// Package provenance records the lineage of the end-to-end verification
+// process — challenge C4 of the paper: which indexes retrieved which
+// instances with what scores, how the reranker reordered them, what each
+// verifier decided, and how the final verdict was resolved. Records support
+// later human checks and debugging when retrieved data is flawed or the
+// verification itself errs.
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// RetrievalHit is one index hit.
+type RetrievalHit struct {
+	// Index names the index that produced the hit ("bm25", "vector").
+	Index string `json:"index"`
+	// InstanceID is the retrieved lake instance.
+	InstanceID string `json:"instance_id"`
+	// Score is the index's native score.
+	Score float64 `json:"score"`
+	// Rank is the hit's position in that index's result list (0-based).
+	Rank int `json:"rank"`
+}
+
+// RerankEntry is one reranked candidate.
+type RerankEntry struct {
+	InstanceID string  `json:"instance_id"`
+	Score      float64 `json:"score"`
+	Rank       int     `json:"rank"`
+}
+
+// VerifierDecision is one verifier verdict over one evidence instance.
+type VerifierDecision struct {
+	InstanceID  string  `json:"instance_id"`
+	SourceID    string  `json:"source_id"`
+	Verifier    string  `json:"verifier"`
+	Verdict     string  `json:"verdict"`
+	Explanation string  `json:"explanation"`
+	SourceTrust float64 `json:"source_trust"`
+}
+
+// Record is the full lineage of one verification run.
+type Record struct {
+	// Seq is the record's sequence number within the store.
+	Seq int `json:"seq"`
+	// ObjectID identifies the generated data object.
+	ObjectID string `json:"object_id"`
+	// Query is the serialized retrieval query.
+	Query string `json:"query"`
+	// Hits are the raw index hits (all indexes).
+	Hits []RetrievalHit `json:"hits"`
+	// Combined is the deduplicated candidate list after the Combiner.
+	Combined []string `json:"combined"`
+	// Reranked is the task-aware top-k′ ordering.
+	Reranked []RerankEntry `json:"reranked"`
+	// Decisions are the per-evidence verdicts.
+	Decisions []VerifierDecision `json:"decisions"`
+	// FinalVerdict is the resolved overall verdict.
+	FinalVerdict string `json:"final_verdict"`
+	// Resolution describes how the final verdict was derived
+	// ("trust-weighted majority", "unanimous", ...).
+	Resolution string `json:"resolution"`
+}
+
+// Store accumulates verification records. It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	records []Record
+	byObj   map[string][]int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byObj: make(map[string][]int)}
+}
+
+// Append adds a record, assigning its sequence number. The record is copied.
+func (s *Store) Append(r Record) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Seq = len(s.records)
+	s.records = append(s.records, r)
+	s.byObj[r.ObjectID] = append(s.byObj[r.ObjectID], r.Seq)
+	return r.Seq
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Get returns the record with the given sequence number.
+func (s *Store) Get(seq int) (Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if seq < 0 || seq >= len(s.records) {
+		return Record{}, false
+	}
+	return s.records[seq], true
+}
+
+// ByObject returns all records for a generated object, oldest first.
+func (s *Store) ByObject(objectID string) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seqs := s.byObj[objectID]
+	out := make([]Record, len(seqs))
+	for i, seq := range seqs {
+		out[i] = s.records[seq]
+	}
+	return out
+}
+
+// EvidenceUsage returns, per lake instance, how many final verdicts each
+// instance participated in — the reverse lineage needed to answer "which
+// conclusions are tainted?" when an instance is found to be flawed.
+func (s *Store) EvidenceUsage() map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int)
+	for _, r := range s.records {
+		for _, d := range r.Decisions {
+			out[d.InstanceID]++
+		}
+	}
+	return out
+}
+
+// TaintedBy returns the object IDs whose verification used the given
+// instance as evidence, sorted.
+func (s *Store) TaintedBy(instanceID string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[string]struct{})
+	for _, r := range s.records {
+		for _, d := range r.Decisions {
+			if d.InstanceID == instanceID {
+				seen[r.ObjectID] = struct{}{}
+				break
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteJSON streams all records as a JSON array.
+func (s *Store) WriteJSON(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.records); err != nil {
+		return fmt.Errorf("provenance: encode records: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON loads records previously written by WriteJSON into a new store.
+func ReadJSON(r io.Reader) (*Store, error) {
+	var records []Record
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return nil, fmt.Errorf("provenance: decode records: %w", err)
+	}
+	s := NewStore()
+	for _, rec := range records {
+		s.Append(rec)
+	}
+	return s, nil
+}

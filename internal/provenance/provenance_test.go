@@ -1,0 +1,135 @@
+package provenance
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func sampleRecord(obj string) Record {
+	return Record{
+		ObjectID: obj,
+		Query:    "some query",
+		Hits: []RetrievalHit{
+			{Index: "bm25", InstanceID: "tuple:t1#0", Score: 3.2, Rank: 0},
+			{Index: "vector", InstanceID: "text:d1", Score: 0.8, Rank: 0},
+		},
+		Combined: []string{"tuple:t1#0", "text:d1"},
+		Reranked: []RerankEntry{{InstanceID: "tuple:t1#0", Score: 0.9, Rank: 0}},
+		Decisions: []VerifierDecision{
+			{InstanceID: "tuple:t1#0", SourceID: "s1", Verifier: "chatgpt-sim", Verdict: "Verified", SourceTrust: 0.8},
+		},
+		FinalVerdict: "Verified",
+		Resolution:   "trust-weighted majority",
+	}
+}
+
+func TestAppendAndGet(t *testing.T) {
+	s := NewStore()
+	seq := s.Append(sampleRecord("g1"))
+	if seq != 0 {
+		t.Errorf("first seq = %d", seq)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	r, ok := s.Get(0)
+	if !ok || r.ObjectID != "g1" || r.Seq != 0 {
+		t.Errorf("Get(0) = %+v, %v", r, ok)
+	}
+	if _, ok := s.Get(5); ok {
+		t.Error("Get out of range ok")
+	}
+	if _, ok := s.Get(-1); ok {
+		t.Error("Get(-1) ok")
+	}
+}
+
+func TestByObject(t *testing.T) {
+	s := NewStore()
+	s.Append(sampleRecord("g1"))
+	s.Append(sampleRecord("g2"))
+	s.Append(sampleRecord("g1"))
+	recs := s.ByObject("g1")
+	if len(recs) != 2 || recs[0].Seq != 0 || recs[1].Seq != 2 {
+		t.Errorf("ByObject = %+v", recs)
+	}
+	if got := s.ByObject("ghost"); len(got) != 0 {
+		t.Errorf("ByObject(ghost) = %v", got)
+	}
+}
+
+func TestEvidenceUsageAndTaint(t *testing.T) {
+	s := NewStore()
+	s.Append(sampleRecord("g1"))
+	s.Append(sampleRecord("g2"))
+	usage := s.EvidenceUsage()
+	if usage["tuple:t1#0"] != 2 {
+		t.Errorf("usage = %v", usage)
+	}
+	tainted := s.TaintedBy("tuple:t1#0")
+	if !reflect.DeepEqual(tainted, []string{"g1", "g2"}) {
+		t.Errorf("TaintedBy = %v", tainted)
+	}
+	if got := s.TaintedBy("text:unused"); len(got) != 0 {
+		t.Errorf("TaintedBy(unused) = %v", got)
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	s := NewStore()
+	s.Append(sampleRecord("g1"))
+	s.Append(sampleRecord("g2"))
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded Len = %d", loaded.Len())
+	}
+	a, _ := s.Get(1)
+	b, _ := loaded.Get(1)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("roundtrip mismatch:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestReadJSONMalformed(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Append(sampleRecord("g"))
+				s.ByObject("g")
+				s.EvidenceUsage()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Errorf("Len after concurrent appends = %d", s.Len())
+	}
+	// Sequence numbers are unique and dense.
+	seen := make(map[int]bool)
+	for i := 0; i < s.Len(); i++ {
+		r, ok := s.Get(i)
+		if !ok || r.Seq != i || seen[r.Seq] {
+			t.Fatalf("bad seq at %d: %+v", i, r)
+		}
+		seen[r.Seq] = true
+	}
+}

@@ -1,0 +1,273 @@
+// Package server exposes a VerifAI pipeline as an HTTP JSON API, the
+// deployment surface a downstream user would put in front of the library:
+//
+//	POST /v1/verify/claim   {"id": "...", "text": "In <caption>, ...", "kinds": ["table","text"]}
+//	POST /v1/verify/tuple   {"id": "...", "caption": "...", "columns": [...], "values": [...], "attr": "..."}
+//	GET  /v1/stats          lake statistics
+//	GET  /v1/provenance?seq=N   one lineage record
+//	GET  /v1/healthz        liveness
+//
+// Responses are flat JSON documents (no internal types leak); errors use
+// RFC-7807-ish {"error": "..."} bodies with conventional status codes.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/claims"
+	"repro/internal/core"
+	"repro/internal/datalake"
+	"repro/internal/table"
+	"repro/internal/verify"
+)
+
+// Server handles the HTTP API over one pipeline.
+type Server struct {
+	pipeline *core.Pipeline
+	mux      *http.ServeMux
+}
+
+// New returns a server over the given pipeline.
+func New(p *core.Pipeline) *Server {
+	s := &Server{pipeline: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/verify/claim", s.handleVerifyClaim)
+	s.mux.HandleFunc("/v1/verify/tuple", s.handleVerifyTuple)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/provenance", s.handleProvenance)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- request / response DTOs ---
+
+// ClaimRequest is the body of POST /v1/verify/claim.
+type ClaimRequest struct {
+	// ID stably identifies the generated object (optional; defaults to a
+	// server-assigned value).
+	ID string `json:"id"`
+	// Text is the claim in the template language (required).
+	Text string `json:"text"`
+	// Kinds restricts evidence modalities ("table", "tuple", "text",
+	// "entity"); defaults to tables.
+	Kinds []string `json:"kinds,omitempty"`
+}
+
+// TupleRequest is the body of POST /v1/verify/tuple.
+type TupleRequest struct {
+	ID      string   `json:"id"`
+	Caption string   `json:"caption"`
+	Columns []string `json:"columns"`
+	Values  []string `json:"values"`
+	// Attr is the attribute under verification (required).
+	Attr string `json:"attr"`
+	// Kinds restricts evidence modalities; defaults to tuples and texts.
+	Kinds []string `json:"kinds,omitempty"`
+}
+
+// EvidenceResponse is one verified evidence instance.
+type EvidenceResponse struct {
+	InstanceID  string  `json:"instance_id"`
+	Kind        string  `json:"kind"`
+	SourceID    string  `json:"source_id"`
+	Verdict     string  `json:"verdict"`
+	Explanation string  `json:"explanation"`
+	Verifier    string  `json:"verifier"`
+	SourceTrust float64 `json:"source_trust"`
+	RerankScore float64 `json:"rerank_score"`
+}
+
+// VerifyResponse is the outcome of a verification request.
+type VerifyResponse struct {
+	ID            string             `json:"id"`
+	Verdict       string             `json:"verdict"`
+	Confidence    float64            `json:"confidence"`
+	Evidence      []EvidenceResponse `json:"evidence"`
+	ProvenanceSeq int                `json:"provenance_seq"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleVerifyClaim(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ClaimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	if req.Text == "" {
+		writeError(w, http.StatusBadRequest, "text is required")
+		return
+	}
+	c, err := claims.Parse(req.Text)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "unparseable claim: %v", err)
+		return
+	}
+	kinds, err := parseKinds(req.Kinds, []datalake.Kind{datalake.KindTable})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.ID == "" {
+		req.ID = "http-claim"
+	}
+	report, err := s.pipeline.Verify(verify.NewClaimObject(req.ID, c), kinds...)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "verify: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(req.ID, report))
+}
+
+func (s *Server) handleVerifyTuple(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req TupleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	if len(req.Columns) == 0 || len(req.Columns) != len(req.Values) {
+		writeError(w, http.StatusBadRequest, "columns and values must be non-empty and of equal length")
+		return
+	}
+	if req.Attr == "" {
+		writeError(w, http.StatusBadRequest, "attr is required")
+		return
+	}
+	tp := table.Tuple{Caption: req.Caption, Columns: req.Columns, Values: req.Values}
+	if _, ok := tp.Value(req.Attr); !ok {
+		writeError(w, http.StatusBadRequest, "tuple has no attribute %q", req.Attr)
+		return
+	}
+	kinds, err := parseKinds(req.Kinds, []datalake.Kind{datalake.KindTuple, datalake.KindText})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.ID == "" {
+		req.ID = "http-tuple"
+	}
+	report, err := s.pipeline.Verify(verify.NewTupleObject(req.ID, tp, req.Attr), kinds...)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "verify: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(req.ID, report))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	stats := s.pipeline.Lake().Stats()
+	writeJSON(w, http.StatusOK, map[string]int{
+		"tables":   stats.Tables,
+		"tuples":   stats.Tuples,
+		"texts":    stats.Docs,
+		"triples":  stats.Triples,
+		"entities": stats.Entities,
+		"sources":  stats.Sources,
+	})
+}
+
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	store := s.pipeline.Provenance()
+	if store == nil {
+		writeError(w, http.StatusNotFound, "provenance recording is disabled")
+		return
+	}
+	seqStr := r.URL.Query().Get("seq")
+	seq, err := strconv.Atoi(seqStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "seq must be an integer, got %q", seqStr)
+		return
+	}
+	rec, ok := store.Get(seq)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no provenance record %d", seq)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// --- helpers ---
+
+// parseKinds maps kind names onto datalake kinds, with a default.
+func parseKinds(names []string, def []datalake.Kind) ([]datalake.Kind, error) {
+	if len(names) == 0 {
+		return def, nil
+	}
+	out := make([]datalake.Kind, 0, len(names))
+	for _, n := range names {
+		switch n {
+		case "table":
+			out = append(out, datalake.KindTable)
+		case "tuple":
+			out = append(out, datalake.KindTuple)
+		case "text":
+			out = append(out, datalake.KindText)
+		case "entity":
+			out = append(out, datalake.KindEntity)
+		default:
+			return nil, fmt.Errorf("unknown evidence kind %q (want table|tuple|text|entity)", n)
+		}
+	}
+	return out, nil
+}
+
+// toResponse flattens a pipeline report into the wire format.
+func toResponse(id string, rep core.Report) VerifyResponse {
+	resp := VerifyResponse{
+		ID:            id,
+		Verdict:       rep.Verdict.String(),
+		Confidence:    rep.Confidence,
+		ProvenanceSeq: rep.ProvenanceSeq,
+		Evidence:      make([]EvidenceResponse, 0, len(rep.Evidence)),
+	}
+	for _, ev := range rep.Evidence {
+		resp.Evidence = append(resp.Evidence, EvidenceResponse{
+			InstanceID:  ev.Instance.ID,
+			Kind:        ev.Instance.Kind.String(),
+			SourceID:    ev.Instance.SourceID,
+			Verdict:     ev.Result.Verdict.String(),
+			Explanation: ev.Result.Explanation,
+			Verifier:    ev.Result.Verifier,
+			SourceTrust: ev.SourceTrust,
+			RerankScore: ev.RerankScore,
+		})
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

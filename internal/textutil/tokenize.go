@@ -1,0 +1,162 @@
+// Package textutil provides the text-processing substrate shared by the
+// indexing, reranking, and verification layers: tokenization, normalization,
+// Porter stemming, stopword filtering, n-grams, string similarity, and
+// numeric parsing. All functions are deterministic and allocation-conscious,
+// since they sit on the hot path of both index construction and query
+// evaluation.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lowercase word tokens. A token is a maximal run of
+// letters/digits; punctuation and whitespace are separators. Apostrophes
+// inside a word ("ohio's") are dropped so that "ohio's" and "ohio" share a
+// prefix token. Underscores are treated as separators because data-lake
+// identifiers such as "Ohio's_1st_congressional_district" should decompose
+// into searchable words.
+func Tokenize(s string) []string {
+	if s == "" {
+		return nil
+	}
+	tokens := make([]string, 0, len(s)/5+1)
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case r == '\'' || r == '’':
+			// Drop apostrophes without splitting: "o'brien" -> "obrien".
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// TokenizeFiltered tokenizes s, removes stopwords, and stems each remaining
+// token. This is the canonical analysis chain used by the inverted index.
+func TokenizeFiltered(s string) []string {
+	raw := Tokenize(s)
+	out := raw[:0]
+	for _, t := range raw {
+		if IsStopword(t) {
+			continue
+		}
+		out = append(out, Stem(t))
+	}
+	return out
+}
+
+// Normalize lowercases s, collapses runs of whitespace to single spaces, and
+// strips leading/trailing space. It is the cheap canonical form used for
+// cell-value equality tests.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	started := false
+	for _, r := range s {
+		if unicode.IsSpace(r) || r == '_' {
+			space = started
+			continue
+		}
+		if space {
+			b.WriteByte(' ')
+			space = false
+		}
+		b.WriteRune(unicode.ToLower(r))
+		started = true
+	}
+	return b.String()
+}
+
+// Fold returns a fully folded comparison key: normalized, with all
+// punctuation removed. "Steve_Chabot" and "steve chabot." fold equal.
+func Fold(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	started := false
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			if space {
+				b.WriteByte(' ')
+				space = false
+			}
+			b.WriteRune(unicode.ToLower(r))
+			started = true
+		default:
+			space = started
+		}
+	}
+	return b.String()
+}
+
+// NGrams returns the character n-grams of s (after folding). Used by the
+// fuzzy matching path of the tuple reranker. Returns nil when len(s) < n.
+func NGrams(s string, n int) []string {
+	f := Fold(s)
+	runes := []rune(f)
+	if len(runes) < n || n <= 0 {
+		return nil
+	}
+	grams := make([]string, 0, len(runes)-n+1)
+	for i := 0; i+n <= len(runes); i++ {
+		grams = append(grams, string(runes[i:i+n]))
+	}
+	return grams
+}
+
+// WordNGrams returns token n-grams joined by a single space.
+func WordNGrams(tokens []string, n int) []string {
+	if len(tokens) < n || n <= 0 {
+		return nil
+	}
+	grams := make([]string, 0, len(tokens)-n+1)
+	for i := 0; i+n <= len(tokens); i++ {
+		grams = append(grams, strings.Join(tokens[i:i+n], " "))
+	}
+	return grams
+}
+
+// SplitSentences splits text into sentences on ./!/? boundaries followed by
+// whitespace. It is intentionally simple: the synthetic corpus generator
+// produces well-punctuated text, and chunking only needs rough boundaries.
+func SplitSentences(text string) []string {
+	var out []string
+	start := 0
+	runes := []rune(text)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r == '.' || r == '!' || r == '?' {
+			// Consume trailing closing quotes/brackets.
+			end := i + 1
+			for end < len(runes) && (runes[end] == '"' || runes[end] == ')' || runes[end] == '\'') {
+				end++
+			}
+			if end >= len(runes) || unicode.IsSpace(runes[end]) {
+				s := strings.TrimSpace(string(runes[start:end]))
+				if s != "" {
+					out = append(out, s)
+				}
+				start = end
+				i = end - 1
+			}
+		}
+	}
+	if tail := strings.TrimSpace(string(runes[start:])); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}

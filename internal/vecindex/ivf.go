@@ -1,0 +1,150 @@
+package vecindex
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/embed"
+)
+
+// IVF is an inverted-file index over k-means cells (Faiss IVF-Flat). Vectors
+// are accumulated with Add and partitioned by Train; Search probes the
+// nprobe cells whose centroids are closest to the query. Until Train is
+// called, Search falls back to an exact scan, mirroring Faiss's requirement
+// that IVF indexes be trained before efficient search.
+type IVF struct {
+	mu     sync.RWMutex
+	metric Metric
+	dim    int
+	nlist  int
+	nprobe int
+	seed   uint64
+
+	ids  []string
+	vecs []embed.Vector
+	byID map[string]int
+
+	trained   bool
+	centroids []embed.Vector
+	cells     [][]int // cell -> vector ordinals
+}
+
+// NewIVF returns an IVF index with nlist cells probing nprobe cells per
+// query. Panics on non-positive parameters.
+func NewIVF(dim int, metric Metric, nlist, nprobe int, seed uint64) *IVF {
+	if dim <= 0 || nlist <= 0 || nprobe <= 0 {
+		panic("vecindex: non-positive IVF parameter")
+	}
+	return &IVF{
+		metric: metric, dim: dim, nlist: nlist, nprobe: nprobe, seed: seed,
+		byID: make(map[string]int),
+	}
+}
+
+// Add stages v under id. Adding after Train is allowed: the vector is
+// assigned to its nearest existing cell.
+func (ix *IVF) Add(id string, v embed.Vector) error {
+	if len(v) != ix.dim {
+		return fmt.Errorf("vecindex: vector dim %d != index dim %d", len(v), ix.dim)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, dup := ix.byID[id]; dup {
+		return fmt.Errorf("vecindex: duplicate id %q", id)
+	}
+	ord := len(ix.ids)
+	ix.byID[id] = ord
+	ix.ids = append(ix.ids, id)
+	ix.vecs = append(ix.vecs, embed.Clone(v))
+	if ix.trained {
+		ci := ix.nearestCell(v)
+		ix.cells[ci] = append(ix.cells[ci], ord)
+	}
+	return nil
+}
+
+// Train partitions the staged vectors into nlist cells. It must be called
+// after the bulk of Adds for efficient search; calling it again re-trains
+// from scratch over all vectors.
+func (ix *IVF) Train() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.vecs) == 0 {
+		return
+	}
+	centroids, assign := kmeans(ix.vecs, ix.nlist, ix.seed, 25)
+	ix.centroids = centroids
+	ix.cells = make([][]int, len(centroids))
+	for ord, ci := range assign {
+		ix.cells[ci] = append(ix.cells[ci], ord)
+	}
+	ix.trained = true
+}
+
+// Trained reports whether the index has been trained.
+func (ix *IVF) Trained() bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.trained
+}
+
+// Len returns the number of indexed vectors.
+func (ix *IVF) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.ids)
+}
+
+// nearestCell returns the centroid index closest to v (L2). Caller holds a
+// lock and the index is trained.
+func (ix *IVF) nearestCell(v embed.Vector) int {
+	best, bestD := 0, embed.L2Sq(v, ix.centroids[0])
+	for ci := 1; ci < len(ix.centroids); ci++ {
+		if d := embed.L2Sq(v, ix.centroids[ci]); d < bestD {
+			best, bestD = ci, d
+		}
+	}
+	return best
+}
+
+// Search implements Searcher. Untrained indexes scan exactly.
+func (ix *IVF) Search(q embed.Vector, k int) []Hit {
+	if k <= 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	h := newTopK(k)
+	if !ix.trained {
+		for i, v := range ix.vecs {
+			h.offer(ix.ids[i], score(ix.metric, q, v))
+		}
+		return h.results()
+	}
+	// Rank cells by centroid distance, probe the best nprobe.
+	type cellDist struct {
+		ci int
+		d  float64
+	}
+	dists := make([]cellDist, len(ix.centroids))
+	for ci, c := range ix.centroids {
+		dists[ci] = cellDist{ci: ci, d: embed.L2Sq(q, c)}
+	}
+	sort.Slice(dists, func(i, j int) bool {
+		if dists[i].d != dists[j].d {
+			return dists[i].d < dists[j].d
+		}
+		return dists[i].ci < dists[j].ci
+	})
+	probe := ix.nprobe
+	if probe > len(dists) {
+		probe = len(dists)
+	}
+	for _, cd := range dists[:probe] {
+		for _, ord := range ix.cells[cd.ci] {
+			h.offer(ix.ids[ord], score(ix.metric, q, ix.vecs[ord]))
+		}
+	}
+	return h.results()
+}

@@ -1,0 +1,125 @@
+package vecindex
+
+import (
+	"math"
+
+	"repro/internal/detrand"
+	"repro/internal/embed"
+)
+
+// kmeans clusters vecs into k centroids using Lloyd's algorithm with
+// k-means++ seeding. All randomness comes from the given seed, so the
+// clustering is deterministic. Returns the centroids and per-vector
+// assignments. k is clamped to len(vecs).
+func kmeans(vecs []embed.Vector, k int, seed uint64, maxIter int) ([]embed.Vector, []int) {
+	n := len(vecs)
+	if n == 0 || k <= 0 {
+		return nil, nil
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(vecs[0])
+	r := detrand.New(seed, "kmeans")
+
+	// k-means++ seeding: first centroid uniform, then proportional to
+	// squared distance from the nearest chosen centroid.
+	centroids := make([]embed.Vector, 0, k)
+	centroids = append(centroids, embed.Clone(vecs[r.Intn(n)]))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = embed.L2Sq(vecs[i], centroids[0])
+	}
+	for len(centroids) < k {
+		var sum float64
+		for _, d := range d2 {
+			sum += d
+		}
+		var next int
+		if sum == 0 {
+			next = r.Intn(n)
+		} else {
+			x := r.Float64() * sum
+			for i, d := range d2 {
+				x -= d
+				if x < 0 {
+					next = i
+					break
+				}
+			}
+		}
+		c := embed.Clone(vecs[next])
+		centroids = append(centroids, c)
+		for i := range d2 {
+			if d := embed.L2Sq(vecs[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	counts := make([]int, k)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := 0
+		for i, v := range vecs {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				if d := embed.L2Sq(v, c); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				if iter > 0 {
+					changed++
+				}
+				assign[i] = best
+			}
+		}
+		if iter > 0 && changed == 0 {
+			break
+		}
+		// Recompute centroids.
+		for ci := range centroids {
+			for d := range centroids[ci] {
+				centroids[ci][d] = 0
+			}
+			counts[ci] = 0
+		}
+		for i, v := range vecs {
+			c := centroids[assign[i]]
+			for d := 0; d < dim; d++ {
+				c[d] += v[d]
+			}
+			counts[assign[i]]++
+		}
+		for ci := range centroids {
+			if counts[ci] == 0 {
+				// Re-seed empty cluster at the point farthest from its
+				// centroid assignment, keeping cells non-degenerate.
+				far, farD := 0, -1.0
+				for i, v := range vecs {
+					if d := embed.L2Sq(v, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[ci], vecs[far])
+				continue
+			}
+			inv := float32(1 / float64(counts[ci]))
+			for d := range centroids[ci] {
+				centroids[ci][d] *= inv
+			}
+		}
+	}
+	// Final assignment against the last centroid update.
+	for i, v := range vecs {
+		best, bestD := 0, math.Inf(1)
+		for ci, c := range centroids {
+			if d := embed.L2Sq(v, c); d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		assign[i] = best
+	}
+	return centroids, assign
+}

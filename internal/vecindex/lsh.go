@@ -1,0 +1,115 @@
+package vecindex
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/detrand"
+	"repro/internal/embed"
+)
+
+// LSH is a random-hyperplane locality-sensitive hash index for cosine
+// similarity (Charikar's SimHash family, as in Faiss IndexLSH). Vectors are
+// hashed into ntables independent signature tables of nbits bits each;
+// Search unions the query's buckets and ranks candidates exactly.
+type LSH struct {
+	mu      sync.RWMutex
+	dim     int
+	nbits   int
+	ntables int
+
+	planes [][]embed.Vector // table -> bit -> hyperplane normal
+	tables []map[uint64][]int
+	ids    []string
+	vecs   []embed.Vector
+	byID   map[string]int
+}
+
+// NewLSH returns an LSH index with ntables hash tables of nbits each.
+// nbits must be in (0, 64].
+func NewLSH(dim, nbits, ntables int, seed uint64) *LSH {
+	if dim <= 0 || nbits <= 0 || nbits > 64 || ntables <= 0 {
+		panic("vecindex: invalid LSH parameters")
+	}
+	ix := &LSH{
+		dim: dim, nbits: nbits, ntables: ntables,
+		planes: make([][]embed.Vector, ntables),
+		tables: make([]map[uint64][]int, ntables),
+		byID:   make(map[string]int),
+	}
+	for t := 0; t < ntables; t++ {
+		ix.tables[t] = make(map[uint64][]int)
+		ix.planes[t] = make([]embed.Vector, nbits)
+		for b := 0; b < nbits; b++ {
+			r := detrand.New(seed, "lsh", fmt.Sprintf("%d:%d", t, b))
+			p := make(embed.Vector, dim)
+			for i := range p {
+				p[i] = float32(r.NormFloat64())
+			}
+			ix.planes[t][b] = p
+		}
+	}
+	return ix
+}
+
+// signature computes the nbits-bit hash of v in table t.
+func (ix *LSH) signature(t int, v embed.Vector) uint64 {
+	var sig uint64
+	for b, p := range ix.planes[t] {
+		if embed.Dot(p, v) >= 0 {
+			sig |= 1 << uint(b)
+		}
+	}
+	return sig
+}
+
+// Add indexes v under id.
+func (ix *LSH) Add(id string, v embed.Vector) error {
+	if len(v) != ix.dim {
+		return fmt.Errorf("vecindex: vector dim %d != index dim %d", len(v), ix.dim)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, dup := ix.byID[id]; dup {
+		return fmt.Errorf("vecindex: duplicate id %q", id)
+	}
+	ord := len(ix.ids)
+	ix.byID[id] = ord
+	ix.ids = append(ix.ids, id)
+	ix.vecs = append(ix.vecs, embed.Clone(v))
+	for t := 0; t < ix.ntables; t++ {
+		sig := ix.signature(t, v)
+		ix.tables[t][sig] = append(ix.tables[t][sig], ord)
+	}
+	return nil
+}
+
+// Len returns the number of indexed vectors.
+func (ix *LSH) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.ids)
+}
+
+// Search implements Searcher: union the query's buckets across tables, then
+// rank the candidate set by exact cosine similarity.
+func (ix *LSH) Search(q embed.Vector, k int) []Hit {
+	if k <= 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	seen := make(map[int]struct{})
+	h := newTopK(k)
+	for t := 0; t < ix.ntables; t++ {
+		sig := ix.signature(t, q)
+		for _, ord := range ix.tables[t][sig] {
+			if _, dup := seen[ord]; dup {
+				continue
+			}
+			seen[ord] = struct{}{}
+			h.offer(ix.ids[ord], embed.Cosine(q, ix.vecs[ord]))
+		}
+	}
+	return h.results()
+}

@@ -1,0 +1,61 @@
+package vecindex
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/embed"
+)
+
+// flatSnapshot is the serialized form of a Flat index (the analogue of
+// Faiss's write_index for IndexFlat).
+type flatSnapshot struct {
+	Metric int
+	Dim    int
+	IDs    []string
+	Vecs   [][]float32
+}
+
+// Save writes the index to w using encoding/gob.
+func (f *Flat) Save(w io.Writer) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	snap := flatSnapshot{
+		Metric: int(f.metric),
+		Dim:    f.dim,
+		IDs:    f.ids,
+		Vecs:   make([][]float32, len(f.vecs)),
+	}
+	for i, v := range f.vecs {
+		snap.Vecs[i] = v
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("vecindex: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadFlat reads a snapshot produced by Flat.Save.
+func LoadFlat(r io.Reader) (*Flat, error) {
+	var snap flatSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("vecindex: decode snapshot: %w", err)
+	}
+	if snap.Dim <= 0 {
+		return nil, fmt.Errorf("vecindex: snapshot has invalid dimension %d", snap.Dim)
+	}
+	if len(snap.IDs) != len(snap.Vecs) {
+		return nil, fmt.Errorf("vecindex: snapshot id/vector count mismatch (%d vs %d)", len(snap.IDs), len(snap.Vecs))
+	}
+	f := NewFlat(snap.Dim, Metric(snap.Metric))
+	for i, id := range snap.IDs {
+		if len(snap.Vecs[i]) != snap.Dim {
+			return nil, fmt.Errorf("vecindex: snapshot vector %d has dim %d, want %d", i, len(snap.Vecs[i]), snap.Dim)
+		}
+		if err := f.Add(id, embed.Vector(snap.Vecs[i])); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,81 @@
+package vecindex
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlatSaveLoadRoundtrip(t *testing.T) {
+	vecs := randomVectors(100, 8, 31)
+	f := NewFlat(8, Cosine)
+	for i, v := range vecs {
+		if err := f.Add(fmt.Sprintf("v%03d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadFlat(&buf)
+	if err != nil {
+		t.Fatalf("LoadFlat: %v", err)
+	}
+	if loaded.Len() != f.Len() {
+		t.Fatalf("Len drifted: %d vs %d", loaded.Len(), f.Len())
+	}
+	for _, q := range randomVectors(10, 8, 99) {
+		a, b := f.Search(q, 5), loaded.Search(q, 5)
+		if len(a) != len(b) {
+			t.Fatalf("hit counts differ")
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Score != b[i].Score {
+				t.Errorf("hit %d drifted: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestFlatSaveLoadProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		count := int(n%40) + 1
+		vecs := randomVectors(count, 4, seed)
+		ix := NewFlat(4, L2)
+		for i, v := range vecs {
+			if err := ix.Add(fmt.Sprintf("v%d", i), v); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			return false
+		}
+		loaded, err := LoadFlat(&buf)
+		if err != nil {
+			return false
+		}
+		q := vecs[0]
+		a, b := ix.Search(q, 3), loaded.Search(q, 3)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadFlatMalformed(t *testing.T) {
+	if _, err := LoadFlat(bytes.NewBufferString("junk")); err == nil {
+		t.Error("junk snapshot accepted")
+	}
+}

@@ -1,0 +1,174 @@
+// Package vecindex implements the semantic-based index of VerifAI's Indexer
+// module: similarity search over dense vectors. It stands in for Meta Faiss
+// in the paper's architecture and provides Faiss's canonical index types:
+// Flat (exact), IVF-Flat (inverted-file over k-means cells), and LSH
+// (random-hyperplane signatures).
+package vecindex
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/embed"
+)
+
+// Metric selects the similarity used for ranking.
+type Metric int
+
+const (
+	// Cosine ranks by cosine similarity (higher is better).
+	Cosine Metric = iota
+	// InnerProduct ranks by dot product (higher is better).
+	InnerProduct
+	// L2 ranks by Euclidean distance (lower is better; Hit.Score is the
+	// negated squared distance so that higher Score is always better).
+	L2
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Cosine:
+		return "cosine"
+	case InnerProduct:
+		return "inner-product"
+	case L2:
+		return "l2"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Hit is one search result. Score is oriented so that higher is better
+// regardless of metric.
+type Hit struct {
+	ID    string
+	Score float64
+}
+
+// Searcher is the query interface shared by all index types.
+type Searcher interface {
+	// Search returns the top-k nearest vectors to q, best first, ties broken
+	// by ascending ID.
+	Search(q embed.Vector, k int) []Hit
+	// Len returns the number of indexed vectors.
+	Len() int
+}
+
+// score computes the metric-oriented score of q against v.
+func score(m Metric, q, v embed.Vector) float64 {
+	switch m {
+	case Cosine:
+		return embed.Cosine(q, v)
+	case InnerProduct:
+		return embed.Dot(q, v)
+	case L2:
+		return -embed.L2Sq(q, v)
+	default:
+		panic("vecindex: unknown metric")
+	}
+}
+
+// Flat is an exact (brute-force) index, the ground-truth baseline the ANN
+// indexes are measured against.
+type Flat struct {
+	mu     sync.RWMutex
+	metric Metric
+	dim    int
+	ids    []string
+	vecs   []embed.Vector
+	byID   map[string]int
+}
+
+// NewFlat returns an empty exact index of dimension dim.
+func NewFlat(dim int, metric Metric) *Flat {
+	if dim <= 0 {
+		panic("vecindex: non-positive dimension")
+	}
+	return &Flat{metric: metric, dim: dim, byID: make(map[string]int)}
+}
+
+// Add indexes v under id. The vector is copied. Duplicate IDs and dimension
+// mismatches are errors.
+func (f *Flat) Add(id string, v embed.Vector) error {
+	if len(v) != f.dim {
+		return fmt.Errorf("vecindex: vector dim %d != index dim %d", len(v), f.dim)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.byID[id]; dup {
+		return fmt.Errorf("vecindex: duplicate id %q", id)
+	}
+	f.byID[id] = len(f.ids)
+	f.ids = append(f.ids, id)
+	f.vecs = append(f.vecs, embed.Clone(v))
+	return nil
+}
+
+// Len returns the number of indexed vectors.
+func (f *Flat) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.ids)
+}
+
+// Search implements Searcher with an exact scan.
+func (f *Flat) Search(q embed.Vector, k int) []Hit {
+	if k <= 0 {
+		return nil
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	h := newTopK(k)
+	for i, v := range f.vecs {
+		h.offer(f.ids[i], score(f.metric, q, v))
+	}
+	return h.results()
+}
+
+// topK is a bounded min-heap used by all index types to keep the best k
+// hits with deterministic tie-breaking.
+type topK struct {
+	k     int
+	items []Hit
+}
+
+func newTopK(k int) *topK { return &topK{k: k, items: make([]Hit, 0, k+1)} }
+
+func (h *topK) Len() int { return len(h.items) }
+func (h *topK) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+func (h *topK) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *topK) Push(x interface{}) { h.items = append(h.items, x.(Hit)) }
+func (h *topK) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+func (h *topK) offer(id string, s float64) {
+	heap.Push(h, Hit{ID: id, Score: s})
+	if h.Len() > h.k {
+		heap.Pop(h)
+	}
+}
+
+func (h *topK) results() []Hit {
+	out := append([]Hit(nil), h.items...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,323 @@
+package vecindex
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/detrand"
+	"repro/internal/embed"
+)
+
+// randomVectors returns n deterministic unit vectors of dimension dim.
+func randomVectors(n, dim int, seed uint64) []embed.Vector {
+	r := detrand.New(seed, "vectors")
+	out := make([]embed.Vector, n)
+	for i := range out {
+		v := make(embed.Vector, dim)
+		for d := range v {
+			v[d] = float32(r.NormFloat64())
+		}
+		embed.Normalize(v)
+		out[i] = v
+	}
+	return out
+}
+
+func TestFlatExactSearch(t *testing.T) {
+	vecs := randomVectors(200, 16, 1)
+	ix := NewFlat(16, Cosine)
+	for i, v := range vecs {
+		if err := ix.Add(fmt.Sprintf("v%03d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 200 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	q := vecs[42]
+	hits := ix.Search(q, 5)
+	if len(hits) != 5 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	if hits[0].ID != "v042" {
+		t.Errorf("nearest to itself = %s", hits[0].ID)
+	}
+	if math.Abs(hits[0].Score-1) > 1e-5 {
+		t.Errorf("self-cosine = %v", hits[0].Score)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Error("hits not sorted")
+		}
+	}
+}
+
+func TestFlatMetrics(t *testing.T) {
+	a := embed.Vector{1, 0}
+	b := embed.Vector{0, 1}
+	c := embed.Vector{2, 0}
+	for _, metric := range []Metric{Cosine, InnerProduct, L2} {
+		ix := NewFlat(2, metric)
+		for id, v := range map[string]embed.Vector{"a": a, "b": b, "c": c} {
+			if err := ix.Add(id, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hits := ix.Search(embed.Vector{1, 0}, 3)
+		if len(hits) != 3 {
+			t.Fatalf("%v: hits = %d", metric, len(hits))
+		}
+		switch metric {
+		case Cosine:
+			// a and c tie at cosine 1; ascending-ID tie-break puts a first.
+			if hits[0].ID != "a" || hits[1].ID != "c" {
+				t.Errorf("cosine order = %v", hits)
+			}
+		case InnerProduct:
+			if hits[0].ID != "c" { // dot 2 beats dot 1
+				t.Errorf("inner-product order = %v", hits)
+			}
+		case L2:
+			if hits[0].ID != "a" || hits[0].Score != 0 {
+				t.Errorf("l2 order = %v", hits)
+			}
+		}
+	}
+}
+
+func TestFlatErrors(t *testing.T) {
+	ix := NewFlat(4, Cosine)
+	if err := ix.Add("a", embed.Vector{1, 2}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := ix.Add("a", embed.Vector{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add("a", embed.Vector{1, 2, 3, 4}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if got := ix.Search(embed.Vector{1, 0, 0, 0}, 0); got != nil {
+		t.Error("k=0 returned hits")
+	}
+}
+
+func TestFlatAddCopiesVector(t *testing.T) {
+	ix := NewFlat(2, Cosine)
+	v := embed.Vector{1, 0}
+	if err := ix.Add("a", v); err != nil {
+		t.Fatal(err)
+	}
+	v[0] = 0
+	v[1] = 1
+	hits := ix.Search(embed.Vector{1, 0}, 1)
+	if math.Abs(hits[0].Score-1) > 1e-6 {
+		t.Error("index shares caller's vector storage")
+	}
+}
+
+func TestIVFMatchesFlatRecall(t *testing.T) {
+	const n, dim, k = 500, 16, 10
+	vecs := randomVectors(n, dim, 2)
+	flat := NewFlat(dim, Cosine)
+	ivf := NewIVF(dim, Cosine, 16, 6, 3)
+	for i, v := range vecs {
+		id := fmt.Sprintf("v%03d", i)
+		if err := flat.Add(id, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := ivf.Add(id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ivf.Train()
+	if !ivf.Trained() {
+		t.Fatal("IVF not trained")
+	}
+	queries := randomVectors(30, dim, 99)
+	var overlap, total int
+	for _, q := range queries {
+		exact := flat.Search(q, k)
+		approx := ivf.Search(q, k)
+		got := make(map[string]bool, len(approx))
+		for _, h := range approx {
+			got[h.ID] = true
+		}
+		for _, h := range exact {
+			total++
+			if got[h.ID] {
+				overlap++
+			}
+		}
+	}
+	recall := float64(overlap) / float64(total)
+	if recall < 0.6 {
+		t.Errorf("IVF recall vs flat = %v, want >= 0.6", recall)
+	}
+}
+
+func TestIVFUntrainedFallsBackToExact(t *testing.T) {
+	vecs := randomVectors(50, 8, 3)
+	ivf := NewIVF(8, Cosine, 4, 1, 1)
+	for i, v := range vecs {
+		if err := ivf.Add(fmt.Sprintf("v%02d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := ivf.Search(vecs[7], 1)
+	if len(hits) != 1 || hits[0].ID != "v07" {
+		t.Errorf("untrained IVF search = %v", hits)
+	}
+}
+
+func TestIVFAddAfterTrain(t *testing.T) {
+	vecs := randomVectors(100, 8, 4)
+	ivf := NewIVF(8, Cosine, 8, 8, 1) // probe all cells: exact
+	for i, v := range vecs {
+		if err := ivf.Add(fmt.Sprintf("v%03d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ivf.Train()
+	extra := randomVectors(1, 8, 777)[0]
+	if err := ivf.Add("late", extra); err != nil {
+		t.Fatal(err)
+	}
+	hits := ivf.Search(extra, 1)
+	if len(hits) != 1 || hits[0].ID != "late" {
+		t.Errorf("late-added vector not found: %v", hits)
+	}
+}
+
+func TestIVFParamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewIVF with bad params did not panic")
+		}
+	}()
+	NewIVF(8, Cosine, 0, 1, 1)
+}
+
+func TestLSHReturnsTrueNeighbors(t *testing.T) {
+	const n, dim = 300, 32
+	vecs := randomVectors(n, dim, 5)
+	lsh := NewLSH(dim, 10, 8, 6)
+	for i, v := range vecs {
+		if err := lsh.Add(fmt.Sprintf("v%03d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lsh.Len() != n {
+		t.Fatalf("Len = %d", lsh.Len())
+	}
+	// Identical query must find itself (same signature in every table).
+	found := 0
+	for i := 0; i < 50; i++ {
+		hits := lsh.Search(vecs[i], 3)
+		for _, h := range hits {
+			if h.ID == fmt.Sprintf("v%03d", i) {
+				found++
+				break
+			}
+		}
+	}
+	if found < 50 {
+		t.Errorf("LSH self-recall = %d/50", found)
+	}
+}
+
+func TestLSHNearbyQueries(t *testing.T) {
+	const dim = 32
+	vecs := randomVectors(100, dim, 7)
+	lsh := NewLSH(dim, 8, 12, 8)
+	for i, v := range vecs {
+		if err := lsh.Add(fmt.Sprintf("v%03d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A small perturbation of an indexed vector should usually still find
+	// the original.
+	r := detrand.New(11, "perturb")
+	found := 0
+	for i := 0; i < 40; i++ {
+		q := embed.Clone(vecs[i])
+		for d := range q {
+			q[d] += float32(0.05 * r.NormFloat64())
+		}
+		embed.Normalize(q)
+		for _, h := range lsh.Search(q, 5) {
+			if h.ID == fmt.Sprintf("v%03d", i) {
+				found++
+				break
+			}
+		}
+	}
+	if found < 30 {
+		t.Errorf("LSH perturbed recall = %d/40", found)
+	}
+}
+
+func TestLSHParamPanics(t *testing.T) {
+	for _, params := range [][3]int{{0, 8, 2}, {8, 0, 2}, {8, 65, 2}, {8, 8, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLSH(%v) did not panic", params)
+				}
+			}()
+			NewLSH(params[0], params[1], params[2], 1)
+		}()
+	}
+}
+
+func TestKMeansAssignments(t *testing.T) {
+	// Two well-separated clusters must be recovered.
+	r := detrand.New(13, "clusters")
+	var vecs []embed.Vector
+	for i := 0; i < 50; i++ {
+		vecs = append(vecs, embed.Vector{float32(1 + 0.01*r.NormFloat64()), float32(0.01 * r.NormFloat64())})
+	}
+	for i := 0; i < 50; i++ {
+		vecs = append(vecs, embed.Vector{float32(-1 + 0.01*r.NormFloat64()), float32(0.01 * r.NormFloat64())})
+	}
+	centroids, assign := kmeans(vecs, 2, 1, 25)
+	if len(centroids) != 2 || len(assign) != 100 {
+		t.Fatalf("kmeans shapes: %d centroids, %d assigns", len(centroids), len(assign))
+	}
+	// All of the first 50 share a cluster; all of the last 50 share the other.
+	c0 := assign[0]
+	for i := 1; i < 50; i++ {
+		if assign[i] != c0 {
+			t.Fatalf("cluster 0 split at %d", i)
+		}
+	}
+	c1 := assign[50]
+	if c1 == c0 {
+		t.Fatal("clusters merged")
+	}
+	for i := 51; i < 100; i++ {
+		if assign[i] != c1 {
+			t.Fatalf("cluster 1 split at %d", i)
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if c, a := kmeans(nil, 3, 1, 5); c != nil || a != nil {
+		t.Error("kmeans(nil) returned data")
+	}
+	vecs := randomVectors(3, 4, 1)
+	c, a := kmeans(vecs, 10, 1, 5) // k > n clamps
+	if len(c) != 3 || len(a) != 3 {
+		t.Errorf("kmeans clamp: %d centroids", len(c))
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Cosine.String() != "cosine" || L2.String() != "l2" || InnerProduct.String() != "inner-product" {
+		t.Error("Metric.String wrong")
+	}
+	if Metric(99).String() == "" {
+		t.Error("unknown metric String empty")
+	}
+}

@@ -1,0 +1,33 @@
+package verify
+
+import "repro/internal/datalake"
+
+// ExactVerifier applies the shared reasoning machinery with no error
+// injection. It serves two roles: the ground-truth oracle the experiment
+// harness scores the simulated verifiers against, and a noise-free verifier
+// for the case-study demonstrations (Figures 1 and 4), which illustrate the
+// mechanism rather than aggregate accuracy.
+type ExactVerifier struct {
+	inner *LLMVerifier
+}
+
+// NewExactVerifier returns the noise-free reasoner.
+func NewExactVerifier() *ExactVerifier {
+	return &ExactVerifier{inner: NewLLMVerifier(LLMConfig{})}
+}
+
+// Name implements Verifier.
+func (v *ExactVerifier) Name() string { return "exact-oracle" }
+
+// Supports implements Verifier: every pair type.
+func (v *ExactVerifier) Supports(Generated, datalake.Kind) bool { return true }
+
+// Verify implements Verifier with exact reasoning (zero error rates mean
+// the LLM profile's corruption step never fires).
+func (v *ExactVerifier) Verify(g Generated, ev datalake.Instance) (Result, error) {
+	verdict, expl, err := v.inner.reason(g, ev)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Verdict: verdict, Explanation: expl, Verifier: v.Name(), EvidenceID: ev.ID}, nil
+}

@@ -1,0 +1,193 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/claims"
+	"repro/internal/datalake"
+	"repro/internal/detrand"
+	"repro/internal/table"
+)
+
+// LLMConfig is the calibrated error profile of the simulated one-size-fits-
+// all verifier. The defaults reproduce ChatGPT's measured behaviour in
+// Table 2 of the paper:
+//
+//   - (tuple, tuple+text) accuracy 0.88 — small per-pair misreading rates;
+//   - (text, relevant table) accuracy 0.75 — multi-row arithmetic (sum/avg/
+//     min/max) is error-prone for a generic LLM, lookups less so;
+//   - (text, retrieved table) accuracy 0.91 — strong generalization: the
+//     model almost always recognizes irrelevant evidence, and "not related"
+//     dominates the retrieved mix.
+//
+// All errors are injected deterministically by hashing (seed, pair id).
+type LLMConfig struct {
+	// Seed drives the deterministic error injection.
+	Seed uint64
+	// TupleEvidenceErr is the misreading rate on related (tuple, tuple)
+	// pairs.
+	TupleEvidenceErr float64
+	// TextEvidenceErr is the misreading rate on related (tuple, text) and
+	// (claim, text) pairs — prose is slightly harder to read exactly.
+	TextEvidenceErr float64
+	// LookupClaimErr is the error rate on related (claim, table) pairs
+	// whose claim is a single-cell lookup.
+	LookupClaimErr float64
+	// AggClaimErr is the error rate on related (claim, table) pairs whose
+	// claim needs multi-row arithmetic — the generic model's weak spot.
+	AggClaimErr float64
+	// CountClaimErr is the error rate on related count claims.
+	CountClaimErr float64
+	// RelevanceErr is the probability of mistaking unrelated evidence for
+	// related (or vice versa) — the generic model's strength, kept low.
+	RelevanceErr float64
+	// TupleRelevanceErr is the relevance-detection error for tuple-object
+	// pairs; reading serialized tuples against arbitrary evidence is
+	// slightly harder than reading prose claims.
+	TupleRelevanceErr float64
+}
+
+// DefaultLLMConfig returns the calibrated profile described above.
+func DefaultLLMConfig(seed uint64) LLMConfig {
+	return LLMConfig{
+		Seed:              seed,
+		TupleEvidenceErr:  0.12,
+		TextEvidenceErr:   0.16,
+		LookupClaimErr:    0.14,
+		AggClaimErr:       0.42,
+		CountClaimErr:     0.28,
+		RelevanceErr:      0.03,
+		TupleRelevanceErr: 0.11,
+	}
+}
+
+// LLMVerifier simulates the default ChatGPT verifier: it reasons exactly
+// over the (g, x) pair with the shared reasoning machinery, then corrupts
+// the verdict according to the calibrated error profile. It supports every
+// pair type (the "one-size-fits-all model" of Section 3.3).
+type LLMVerifier struct {
+	cfg LLMConfig
+}
+
+// NewLLMVerifier returns a simulated LLM verifier with the given profile.
+func NewLLMVerifier(cfg LLMConfig) *LLMVerifier {
+	return &LLMVerifier{cfg: cfg}
+}
+
+// Name implements Verifier.
+func (v *LLMVerifier) Name() string { return "chatgpt-sim" }
+
+// Supports implements Verifier: the LLM handles every pair type.
+func (v *LLMVerifier) Supports(Generated, datalake.Kind) bool { return true }
+
+// Verify implements Verifier.
+func (v *LLMVerifier) Verify(g Generated, ev datalake.Instance) (Result, error) {
+	verdict, expl, err := v.reason(g, ev)
+	if err != nil {
+		return Result{}, err
+	}
+	verdict, expl = v.corrupt(g, ev, verdict, expl)
+	return Result{Verdict: verdict, Explanation: expl, Verifier: v.Name(), EvidenceID: ev.ID}, nil
+}
+
+// reason runs the exact reasoning for the pair type.
+func (v *LLMVerifier) reason(g Generated, ev datalake.Instance) (Verdict, string, error) {
+	switch {
+	case g.Kind == KindTuple && ev.Kind == datalake.KindTuple:
+		verdict, expl := reasonTupleTuple(g, *ev.Tuple)
+		return verdict, expl, nil
+	case g.Kind == KindTuple && ev.Kind == datalake.KindText:
+		verdict, expl := reasonTupleText(g, ev.Doc)
+		return verdict, expl, nil
+	case g.Kind == KindTuple && ev.Kind == datalake.KindTable:
+		// Treat each table row as a candidate tuple; adopt the first
+		// related row's verdict.
+		for i := range ev.Table.Rows {
+			tp, _ := ev.Table.TupleAt(i)
+			verdict, expl := reasonTupleTuple(g, tp)
+			if verdict != NotRelated {
+				return verdict, expl, nil
+			}
+		}
+		return NotRelated, "No row of the evidence table matches the tuple.", nil
+	case g.Kind == KindTuple && ev.Kind == datalake.KindEntity:
+		verdict, expl := reasonTupleEntity(g, ev)
+		return verdict, expl, nil
+	case g.Kind == KindClaim && ev.Kind == datalake.KindTable:
+		verdict, expl := reasonClaimTable(g, ev.Table)
+		return verdict, expl, nil
+	case g.Kind == KindClaim && ev.Kind == datalake.KindText:
+		verdict, expl := reasonClaimText(g, ev.Doc)
+		return verdict, expl, nil
+	case g.Kind == KindClaim && ev.Kind == datalake.KindTuple:
+		// A single evidence tuple can settle lookup claims: view the tuple
+		// as a one-row table.
+		t := oneRowTable(ev)
+		verdict, expl := reasonClaimTable(g, t)
+		return verdict, expl, nil
+	case g.Kind == KindClaim && ev.Kind == datalake.KindEntity:
+		verdict, expl := reasonClaimEntity(g, ev)
+		return verdict, expl, nil
+	default:
+		return NotRelated, "", fmt.Errorf("verify: unsupported pair (%v, %v)", g.Kind, ev.Kind)
+	}
+}
+
+// corrupt applies the calibrated error profile to an exact verdict,
+// deterministically keyed by (seed, g.ID, evidence ID).
+func (v *LLMVerifier) corrupt(g Generated, ev datalake.Instance, verdict Verdict, expl string) (Verdict, string) {
+	key := g.ID + "|" + ev.ID
+	if verdict == NotRelated {
+		// Relevance detection: rarely hallucinate a relationship.
+		relErr := v.cfg.RelevanceErr
+		if g.Kind == KindTuple {
+			relErr = v.cfg.TupleRelevanceErr
+		}
+		if detrand.Bernoulli(relErr, v.cfg.Seed, "rel", key) {
+			if detrand.Bernoulli(0.5, v.cfg.Seed, "rel-dir", key) {
+				return Verified, "The evidence appears to support the generated data."
+			}
+			return Refuted, "The evidence appears to contradict the generated data."
+		}
+		return verdict, expl
+	}
+	errRate := v.errRateFor(g, ev)
+	if detrand.Bernoulli(errRate, v.cfg.Seed, "read", key) {
+		// Misreading flips the verdict.
+		if verdict == Verified {
+			return Refuted, "The evidence appears to contradict the generated data."
+		}
+		return Verified, "The evidence appears to support the generated data."
+	}
+	return verdict, expl
+}
+
+// errRateFor selects the per-pair-type misreading rate.
+func (v *LLMVerifier) errRateFor(g Generated, ev datalake.Instance) float64 {
+	switch {
+	case g.Kind == KindTuple && (ev.Kind == datalake.KindTuple || ev.Kind == datalake.KindTable || ev.Kind == datalake.KindEntity):
+		return v.cfg.TupleEvidenceErr
+	case ev.Kind == datalake.KindText:
+		return v.cfg.TextEvidenceErr
+	case g.Kind == KindClaim:
+		switch g.Claim.Op {
+		case claims.OpLookup:
+			return v.cfg.LookupClaimErr
+		case claims.OpCount:
+			return v.cfg.CountClaimErr
+		default:
+			return v.cfg.AggClaimErr
+		}
+	default:
+		return v.cfg.TextEvidenceErr
+	}
+}
+
+// oneRowTable views an evidence tuple as a one-row table so the claim
+// machinery can execute against it.
+func oneRowTable(ev datalake.Instance) *table.Table {
+	t := table.New(ev.Tuple.TableID, ev.Tuple.Caption, ev.Tuple.Columns)
+	t.SourceID = ev.Tuple.SourceID
+	t.Rows = [][]string{append([]string(nil), ev.Tuple.Values...)}
+	return t
+}

@@ -1,0 +1,287 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/claims"
+	"repro/internal/datalake"
+	"repro/internal/doc"
+	"repro/internal/table"
+	"repro/internal/textutil"
+)
+
+// This file contains the exact (noise-free) reasoning shared by the
+// verifiers. Each reason* function returns the verdict an ideal reasoner
+// would produce for the pair, plus an explanation. The simulated verifiers
+// wrap these with their calibrated error profiles.
+
+// reasonTupleTuple checks an imputed tuple against an evidence tuple.
+// The evidence is related when it describes the same row of the same
+// relation: captions match and the non-verified cells agree (the imputed
+// tuple differs from its original counterpart only in the verified
+// attribute). Related evidence then verifies or refutes the imputed value.
+func reasonTupleTuple(g Generated, ev table.Tuple) (Verdict, string) {
+	if !captionsSimilar(g.Tuple.Caption, ev.Caption) {
+		return NotRelated, fmt.Sprintf("The evidence tuple is from %q, not %q.", ev.Caption, g.Tuple.Caption)
+	}
+	// Agreement over shared, non-verified columns.
+	attrFold := textutil.Fold(g.Attr)
+	shared, agree := 0, 0
+	for i, c := range g.Tuple.Columns {
+		if textutil.Fold(c) == attrFold {
+			continue
+		}
+		evVal, ok := ev.Value(c)
+		if !ok {
+			continue
+		}
+		shared++
+		if textutil.Fold(evVal) == textutil.Fold(g.Tuple.Values[i]) {
+			agree++
+		}
+	}
+	if shared == 0 || float64(agree)/float64(shared) < 0.8 {
+		return NotRelated, "The evidence tuple describes a different entity."
+	}
+	evVal, ok := ev.Value(g.Attr)
+	if !ok {
+		return NotRelated, fmt.Sprintf("The evidence tuple has no attribute %q.", g.Attr)
+	}
+	gv, _ := g.Tuple.Value(g.Attr)
+	if cellsEqual(gv, evVal) {
+		return Verified, fmt.Sprintf("The evidence tuple confirms %s = %s.", g.Attr, gv)
+	}
+	return Refuted, fmt.Sprintf("The evidence tuple shows %s = %s, not %s.", g.Attr, evVal, gv)
+}
+
+// reasonTupleText checks an imputed tuple against an evidence document.
+// The document is related when it is the page of an entity appearing in the
+// tuple (title matches a cell) and it states the verified attribute in the
+// tuple's table context; in that case the stated value verifies or refutes
+// the imputed one.
+func reasonTupleText(g Generated, d *doc.Document) (Verdict, string) {
+	entity, ok := docEntityInTuple(g.Tuple, d)
+	if !ok {
+		return NotRelated, "The document is not about an entity in the tuple."
+	}
+	text := textutil.Fold(d.Text)
+	// The page must speak about the tuple's table context; otherwise the
+	// attribute statement could concern another table.
+	captionFold := textutil.Fold(g.Tuple.Caption)
+	if !strings.Contains(text, captionFold) {
+		return NotRelated, fmt.Sprintf("The page of %s does not discuss %q.", entity, g.Tuple.Caption)
+	}
+	gv, _ := g.Tuple.Value(g.Attr)
+
+	// Direct statement of the verified attribute, preferring sentences that
+	// name this table (a reused entity's page may discuss several tables).
+	if stated, ok := extractStatedValueScoped(d.Text, g.Attr, captionFold); ok {
+		if cellsEqual(gv, stated) {
+			return Verified, fmt.Sprintf("The page of %s states the %s is %s, confirming the value.", entity, g.Attr, stated)
+		}
+		return Refuted, fmt.Sprintf("The page of %s states the %s is %s, not %s.", entity, g.Attr, stated, gv)
+	}
+
+	// When the imputed value IS an entity (e.g. an imputed incumbent) and
+	// this page is that entity's own page, any statement linking the entity
+	// to a different row of this table breaks the imputation: the page of
+	// the claimed incumbent saying it holds a different district refutes
+	// the tuple (Figure 1(a)'s "a text file validates the imputed value to
+	// be incorrect").
+	if textutil.Fold(entity) == textutil.Fold(gv) {
+		for i, c := range g.Tuple.Columns {
+			if textutil.Fold(c) == textutil.Fold(g.Attr) {
+				continue
+			}
+			stated, ok := extractStatedValueScoped(d.Text, c, captionFold)
+			if !ok {
+				continue
+			}
+			if cellsEqual(g.Tuple.Values[i], stated) {
+				return Verified, fmt.Sprintf("The page of %s links it to %s = %s, confirming the tuple.", entity, c, stated)
+			}
+			return Refuted, fmt.Sprintf("The page of %s links it to %s = %s, not %s.", entity, c, stated, g.Tuple.Values[i])
+		}
+	}
+	return NotRelated, fmt.Sprintf("The page of %s does not state a %s.", entity, g.Attr)
+}
+
+// reasonClaimTable checks a textual claim against an evidence table by
+// executing the implied table operation.
+func reasonClaimTable(g Generated, t *table.Table) (Verdict, string) {
+	out, expl := claims.Eval(g.Claim, t)
+	return fromOutcome(out), expl
+}
+
+// reasonClaimText checks a textual claim against an evidence document using
+// containment: the document must mention the claim's entities and attribute;
+// the claim is verified when the claimed value co-occurs, refuted when the
+// document states the attribute with a different value.
+func reasonClaimText(g Generated, d *doc.Document) (Verdict, string) {
+	text := textutil.Fold(d.Text) + " " + textutil.Fold(d.Title)
+	for _, e := range g.Claim.Entities {
+		if !strings.Contains(text, textutil.Fold(e)) {
+			return NotRelated, fmt.Sprintf("The document does not mention %q.", e)
+		}
+	}
+	stated, ok := extractStatedValue(d.Text, g.Claim.Attribute)
+	if ok {
+		if cellsEqual(g.Claim.Value, stated) {
+			return Verified, fmt.Sprintf("The document states the %s is %s, matching the claim.", g.Claim.Attribute, stated)
+		}
+		return Refuted, fmt.Sprintf("The document states the %s is %s, not %s.", g.Claim.Attribute, stated, g.Claim.Value)
+	}
+	// No explicit attribute statement: fall back to co-occurrence of the
+	// claimed value with the entities.
+	if strings.Contains(text, textutil.Fold(g.Claim.Value)) {
+		return Verified, fmt.Sprintf("The document mentions %s together with %s.", g.Claim.Value, strings.Join(g.Claim.Entities, ", "))
+	}
+	return NotRelated, "The document mentions the entities but not the claimed fact."
+}
+
+// reasonClaimEntity checks a claim against a knowledge-graph entity
+// neighborhood (the cross-modal extension of Section 5).
+func reasonClaimEntity(g Generated, in datalake.Instance) (Verdict, string) {
+	if len(g.Claim.Entities) == 0 {
+		return NotRelated, "The claim names no entities."
+	}
+	subject := g.Claim.Entities[0]
+	if textutil.Fold(in.Entity) != textutil.Fold(subject) {
+		return NotRelated, fmt.Sprintf("The entity %q is not the claim's subject %q.", in.Entity, subject)
+	}
+	attrFold := textutil.Fold(g.Claim.Attribute)
+	for _, tr := range in.Graph.About(in.Entity) {
+		predFold := textutil.Fold(tr.Predicate)
+		if !strings.Contains(predFold, attrFold) {
+			continue
+		}
+		// The predicate may be scoped to a table context ("money of 1954
+		// ..."); require the claim context when present.
+		if g.Claim.Context != "" && !strings.Contains(predFold, textutil.Fold(g.Claim.Context)) {
+			continue
+		}
+		if cellsEqual(g.Claim.Value, tr.Object) {
+			return Verified, fmt.Sprintf("The knowledge graph states %s %s %s.", tr.Subject, tr.Predicate, tr.Object)
+		}
+		return Refuted, fmt.Sprintf("The knowledge graph states %s %s %s, not %s.", tr.Subject, tr.Predicate, tr.Object, g.Claim.Value)
+	}
+	return NotRelated, fmt.Sprintf("The knowledge graph has no %q fact for %s.", g.Claim.Attribute, subject)
+}
+
+// reasonTupleEntity checks an imputed tuple against a knowledge-graph
+// entity neighborhood.
+func reasonTupleEntity(g Generated, in datalake.Instance) (Verdict, string) {
+	// The entity must appear among the tuple's cells.
+	found := false
+	for _, v := range g.Tuple.Values {
+		if textutil.Fold(v) == textutil.Fold(in.Entity) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return NotRelated, fmt.Sprintf("The entity %q does not appear in the tuple.", in.Entity)
+	}
+	attrFold := textutil.Fold(g.Attr)
+	ctxFold := textutil.Fold(g.Tuple.Caption)
+	for _, tr := range in.Graph.About(in.Entity) {
+		predFold := textutil.Fold(tr.Predicate)
+		if !strings.Contains(predFold, attrFold) {
+			continue
+		}
+		if ctxFold != "" && !strings.Contains(predFold, ctxFold) {
+			continue
+		}
+		gv, _ := g.Tuple.Value(g.Attr)
+		if cellsEqual(gv, tr.Object) {
+			return Verified, fmt.Sprintf("The knowledge graph states %s %s %s.", tr.Subject, tr.Predicate, tr.Object)
+		}
+		return Refuted, fmt.Sprintf("The knowledge graph states %s %s %s, not %s.", tr.Subject, tr.Predicate, tr.Object, gv)
+	}
+	return NotRelated, fmt.Sprintf("The knowledge graph has no %q fact for %s in this context.", g.Attr, in.Entity)
+}
+
+// captionsSimilar reports whether two table captions plausibly name the same
+// relation.
+func captionsSimilar(a, b string) bool {
+	if textutil.Fold(a) == textutil.Fold(b) {
+		return true
+	}
+	return textutil.Jaccard(textutil.Tokenize(a), textutil.Tokenize(b)) >= 0.7
+}
+
+// cellsEqual compares two cell values numerically when both parse as
+// numbers, by folded string equality otherwise.
+func cellsEqual(a, b string) bool {
+	av, aok := textutil.ParseNumber(a)
+	bv, bok := textutil.ParseNumber(b)
+	if aok && bok && textutil.IsNumeric(strings.TrimSpace(a)) && textutil.IsNumeric(strings.TrimSpace(b)) {
+		return textutil.NearlyEqual(av, bv)
+	}
+	return textutil.Fold(a) == textutil.Fold(b)
+}
+
+// docEntityInTuple reports whether d is the page of an entity appearing in
+// the tuple, returning the matched entity.
+func docEntityInTuple(tp table.Tuple, d *doc.Document) (string, bool) {
+	title := textutil.Fold(d.Title)
+	entity := textutil.Fold(d.EntityID)
+	for _, v := range tp.Values {
+		f := textutil.Fold(v)
+		if f == "" {
+			continue
+		}
+		if f == title || (entity != "" && f == entity) {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// extractStatedValue scans a document sentence by sentence for a statement
+// of the attribute ("... recorded a <attr> of <value>." or "... the <attr>
+// is <value>.") and returns the stated value (the folded remainder of the
+// sentence).
+func extractStatedValue(text, attr string) (string, bool) {
+	return extractStatedValueScoped(text, attr, "")
+}
+
+// extractStatedValueScoped is extractStatedValue with a scope preference:
+// when scopeFold is non-empty, sentences containing it are searched first,
+// so a reused entity's page stating the same attribute for several tables
+// yields the statement about the intended one. Falls back to any sentence.
+func extractStatedValueScoped(text, attr, scopeFold string) (string, bool) {
+	attrFold := textutil.Fold(attr)
+	markers := []string{
+		"recorded a " + attrFold + " of ",
+		"the " + attrFold + " is ",
+		"a " + attrFold + " of ",
+	}
+	sentences := textutil.SplitSentences(text)
+	scan := func(requireScope bool) (string, bool) {
+		for _, sentence := range sentences {
+			fs := textutil.Fold(sentence)
+			if requireScope && !strings.Contains(fs, scopeFold) {
+				continue
+			}
+			for _, m := range markers {
+				idx := strings.Index(fs, m)
+				if idx < 0 {
+					continue
+				}
+				val := strings.TrimSpace(fs[idx+len(m):])
+				if val != "" {
+					return val, true
+				}
+			}
+		}
+		return "", false
+	}
+	if scopeFold != "" {
+		if val, ok := scan(true); ok {
+			return val, ok
+		}
+	}
+	return scan(false)
+}

@@ -1,0 +1,260 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/claims"
+	"repro/internal/datalake"
+	"repro/internal/doc"
+	"repro/internal/kg"
+	"repro/internal/table"
+)
+
+func usOpen1954() *table.Table {
+	t := table.New("e1", "1954 u.s. open (golf)",
+		[]string{"place", "player", "country", "money"})
+	t.SourceID = "src"
+	t.MustAppendRow("t1", "ed furgol", "united states", "6000")
+	t.MustAppendRow("t6", "tommy bolt", "united states", "570")
+	t.MustAppendRow("t6", "fred haas", "united states", "570")
+	t.MustAppendRow("t6", "ben hogan", "united states", "570")
+	return t
+}
+
+func tupleInst(t *table.Table, row int) datalake.Instance {
+	tp, _ := t.TupleAt(row)
+	return datalake.Instance{ID: datalake.TupleInstanceID(t.ID, row), Kind: datalake.KindTuple, SourceID: t.SourceID, Tuple: &tp}
+}
+
+func tableInst(t *table.Table) datalake.Instance {
+	return datalake.Instance{ID: datalake.TableInstanceID(t.ID), Kind: datalake.KindTable, SourceID: t.SourceID, Table: t}
+}
+
+func docInst(d *doc.Document) datalake.Instance {
+	return datalake.Instance{ID: datalake.TextInstanceID(d.ID), Kind: datalake.KindText, SourceID: d.SourceID, Doc: d}
+}
+
+func tommyBoltDoc() *doc.Document {
+	return &doc.Document{
+		ID:    "d1",
+		Title: "Tommy Bolt",
+		Text: "Tommy Bolt is a united states golfer. " +
+			"In the 1954 u.s. open (golf), Tommy Bolt recorded a money of 570. " +
+			"Commentators compared him with others.",
+	}
+}
+
+// imputedTuple returns tommy bolt's tuple with money imputed as v.
+func imputedTuple(v string) Generated {
+	tbl := usOpen1954()
+	tp, _ := tbl.TupleAt(1)
+	return NewTupleObject("g1", tp.WithValue("money", v), "money")
+}
+
+func TestReasonTupleTuple(t *testing.T) {
+	tbl := usOpen1954()
+	exact := NewExactVerifier()
+
+	// Correct imputation vs its counterpart: Verified.
+	res, err := exact.Verify(imputedTuple("570"), tupleInst(tbl, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Verified {
+		t.Errorf("counterpart verdict = %v (%s)", res.Verdict, res.Explanation)
+	}
+
+	// Wrong imputation vs counterpart: Refuted.
+	res, _ = exact.Verify(imputedTuple("9999"), tupleInst(tbl, 1))
+	if res.Verdict != Refuted {
+		t.Errorf("wrong value verdict = %v", res.Verdict)
+	}
+	if !strings.Contains(res.Explanation, "570") {
+		t.Errorf("refutation lacks true value: %s", res.Explanation)
+	}
+
+	// Different row of the same table: NotRelated (different entity).
+	res, _ = exact.Verify(imputedTuple("570"), tupleInst(tbl, 0))
+	if res.Verdict != NotRelated {
+		t.Errorf("different-entity verdict = %v", res.Verdict)
+	}
+
+	// Same entity, different caption: NotRelated.
+	other := table.New("e2", "1959 u.s. open (golf)", []string{"place", "player", "country", "money"})
+	other.MustAppendRow("t6", "tommy bolt", "united states", "123")
+	res, _ = exact.Verify(imputedTuple("570"), tupleInst(other, 0))
+	if res.Verdict != NotRelated {
+		t.Errorf("different-caption verdict = %v", res.Verdict)
+	}
+}
+
+func TestReasonTupleText(t *testing.T) {
+	exact := NewExactVerifier()
+	d := tommyBoltDoc()
+
+	res, _ := exact.Verify(imputedTuple("570"), docInst(d))
+	if res.Verdict != Verified {
+		t.Errorf("doc verifies = %v (%s)", res.Verdict, res.Explanation)
+	}
+	res, _ = exact.Verify(imputedTuple("960"), docInst(d))
+	if res.Verdict != Refuted {
+		t.Errorf("doc refutes = %v", res.Verdict)
+	}
+
+	// Page without the table context: NotRelated.
+	noCtx := &doc.Document{ID: "d2", Title: "Tommy Bolt", Text: "Tommy Bolt is a golfer."}
+	res, _ = exact.Verify(imputedTuple("570"), docInst(noCtx))
+	if res.Verdict != NotRelated {
+		t.Errorf("contextless page = %v", res.Verdict)
+	}
+
+	// Page about someone else: NotRelated.
+	wrong := &doc.Document{ID: "d3", Title: "Gene Littler", Text: "In the 1954 u.s. open (golf), Gene Littler recorded a money of 3600."}
+	res, _ = exact.Verify(imputedTuple("570"), docInst(wrong))
+	if res.Verdict != NotRelated {
+		t.Errorf("wrong-entity page = %v", res.Verdict)
+	}
+
+	// Page with context but no statement of the verified attribute.
+	noAttr := &doc.Document{ID: "d4", Title: "Tommy Bolt", Text: "Tommy Bolt played in the 1954 u.s. open (golf)."}
+	res, _ = exact.Verify(imputedTuple("570"), docInst(noAttr))
+	if res.Verdict != NotRelated {
+		t.Errorf("attributeless page = %v", res.Verdict)
+	}
+}
+
+func TestReasonClaimTable(t *testing.T) {
+	exact := NewExactVerifier()
+	cl := claims.Claim{
+		Context:   "1954 u.s. open (golf)",
+		Entities:  []string{"tommy bolt", "fred haas", "ben hogan"},
+		Attribute: "cash prize",
+		Op:        claims.OpSum,
+		Value:     "960",
+	}
+	cl.Render()
+	g := NewClaimObject("c1", cl)
+	res, _ := exact.Verify(g, tableInst(usOpen1954()))
+	if res.Verdict != Refuted {
+		t.Errorf("figure-4 claim = %v (%s)", res.Verdict, res.Explanation)
+	}
+}
+
+func TestReasonClaimText(t *testing.T) {
+	exact := NewExactVerifier()
+	cl := claims.Claim{
+		Context:   "x",
+		Entities:  []string{"tommy bolt"},
+		Attribute: "money",
+		Op:        claims.OpLookup,
+		Value:     "570",
+	}
+	cl.Render()
+	g := NewClaimObject("c2", cl)
+	res, _ := exact.Verify(g, docInst(tommyBoltDoc()))
+	if res.Verdict != Verified {
+		t.Errorf("claim vs doc = %v (%s)", res.Verdict, res.Explanation)
+	}
+	cl2 := cl
+	cl2.Value = "9999"
+	res, _ = exact.Verify(NewClaimObject("c3", cl2), docInst(tommyBoltDoc()))
+	if res.Verdict != Refuted {
+		t.Errorf("claim vs doc refute = %v", res.Verdict)
+	}
+	cl3 := cl
+	cl3.Entities = []string{"arnold palmer"}
+	res, _ = exact.Verify(NewClaimObject("c4", cl3), docInst(tommyBoltDoc()))
+	if res.Verdict != NotRelated {
+		t.Errorf("claim vs unrelated doc = %v", res.Verdict)
+	}
+}
+
+func TestReasonClaimTuple(t *testing.T) {
+	// A single evidence tuple settles a lookup claim (one-row table view).
+	exact := NewExactVerifier()
+	cl := claims.Claim{
+		Context:   "1954 u.s. open (golf)",
+		Entities:  []string{"tommy bolt"},
+		Attribute: "money",
+		Op:        claims.OpLookup,
+		Value:     "570",
+	}
+	cl.Render()
+	res, _ := exact.Verify(NewClaimObject("c5", cl), tupleInst(usOpen1954(), 1))
+	if res.Verdict != Verified {
+		t.Errorf("claim vs tuple = %v (%s)", res.Verdict, res.Explanation)
+	}
+}
+
+func TestReasonEntityEvidence(t *testing.T) {
+	g := kg.NewGraph()
+	g.Add(kg.Triple{Subject: "tommy bolt", Predicate: "money of 1954 u.s. open (golf)", Object: "570", SourceID: "kg"})
+	inst := datalake.Instance{
+		ID: "entity:tommy bolt", Kind: datalake.KindEntity, SourceID: "kg",
+		Entity: "tommy bolt", Graph: g,
+	}
+	exact := NewExactVerifier()
+
+	// Tuple object vs entity.
+	res, _ := exact.Verify(imputedTuple("570"), inst)
+	if res.Verdict != Verified {
+		t.Errorf("tuple vs entity = %v (%s)", res.Verdict, res.Explanation)
+	}
+	res, _ = exact.Verify(imputedTuple("960"), inst)
+	if res.Verdict != Refuted {
+		t.Errorf("tuple vs entity refute = %v", res.Verdict)
+	}
+
+	// Claim object vs entity.
+	cl := claims.Claim{
+		Context:   "1954 u.s. open (golf)",
+		Entities:  []string{"tommy bolt"},
+		Attribute: "money",
+		Op:        claims.OpLookup,
+		Value:     "570",
+	}
+	cl.Render()
+	res, _ = exact.Verify(NewClaimObject("c6", cl), inst)
+	if res.Verdict != Verified {
+		t.Errorf("claim vs entity = %v (%s)", res.Verdict, res.Explanation)
+	}
+
+	// Entity not in the tuple: NotRelated.
+	other := datalake.Instance{ID: "entity:nobody", Kind: datalake.KindEntity, Entity: "nobody", Graph: g}
+	res, _ = exact.Verify(imputedTuple("570"), other)
+	if res.Verdict != NotRelated {
+		t.Errorf("foreign entity = %v", res.Verdict)
+	}
+}
+
+func TestGeneratedQueryAndDescribe(t *testing.T) {
+	g := imputedTuple("570")
+	if !strings.Contains(g.Query(), "tommy bolt") {
+		t.Error("tuple query missing entity")
+	}
+	if !strings.Contains(g.Describe(), "money") {
+		t.Error("tuple describe missing attr")
+	}
+	cl := claims.Claim{Context: "c", Entities: []string{"e f"}, Attribute: "a", Op: claims.OpLookup, Value: "v"}
+	cl.Render()
+	gc := NewClaimObject("x", cl)
+	if gc.Query() != cl.Text {
+		t.Error("claim query != text")
+	}
+	if !strings.Contains(gc.Describe(), cl.Text) {
+		t.Error("claim describe missing text")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Verified.String() != "Verified" || Refuted.String() != "Refuted" || NotRelated.String() != "Not Related" {
+		t.Error("Verdict.String wrong")
+	}
+	if Verdict(9).String() == "" || Kind(9).String() == "" {
+		t.Error("unknown enums")
+	}
+	if KindTuple.String() != "tuple" || KindClaim.String() != "claim" {
+		t.Error("Kind.String wrong")
+	}
+}

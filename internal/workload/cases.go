@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"repro/internal/claims"
+	"repro/internal/datalake"
+	"repro/internal/doc"
+	"repro/internal/table"
+)
+
+// This file reproduces the exact case data of the paper's Figures 1 and 4,
+// used by the case-study experiments and the example programs.
+
+// CaseSource is the source ID for the hand-authored case data.
+const CaseSource = "paper-cases"
+
+// OhioDistrictsTable returns the Figure 1(a) table: Ohio congressional
+// districts with incumbents and first-elected years.
+func OhioDistrictsTable() *table.Table {
+	t := table.New("case-ohio", "ohio congressional districts",
+		[]string{"district", "incumbent", "first elected"})
+	t.SourceID = CaseSource
+	t.MustAppendRow("ohio's 1st congressional district", "steve chabot", "1994")
+	t.MustAppendRow("ohio's 2nd congressional district", "rob portman", "1993")
+	t.MustAppendRow("ohio's 3rd congressional district", "mike turner", "2002")
+	t.MustAppendRow("ohio's 4th congressional district", "mike oxley", "1981")
+	return t
+}
+
+// FilmographyTable returns the Figure 1(b) table: Meagan Good's filmography.
+func FilmographyTable() *table.Table {
+	t := table.New("case-filmography", "meagan good's filmography",
+		[]string{"year", "title", "role"})
+	t.SourceID = CaseSource
+	t.MustAppendRow("2006", "miles from home", "natasha freeman")
+	t.MustAppendRow("2006", "waist deep", "coco")
+	t.MustAppendRow("2007", "stomp the yard", "april palmer")
+	t.MustAppendRow("2008", "one missed call", "shelley baum")
+	t.MustAppendRow("2008", "the love guru", "prudence roanoke")
+	return t
+}
+
+// MeaganGoodDoc returns a Wikipedia-style page for Meagan Good that can
+// verify the Figure 1(b) text-generation case: she did play April Palmer in
+// Stomp the Yard (2007).
+func MeaganGoodDoc() *doc.Document {
+	return &doc.Document{
+		ID:       "case-doc-meagan-good",
+		Title:    "Meagan Good",
+		EntityID: "meagan good",
+		SourceID: CaseSource,
+		Text: "Meagan Good is a united states actress. " +
+			"Meagan Good was born in springfield in 1981. " +
+			"In the meagan good's filmography, Meagan Good recorded a role of april palmer. " +
+			"In 2007 she appeared in stomp the yard as april palmer. " +
+			"Her credits also include waist deep and one missed call.",
+	}
+}
+
+// USOpen1954Table returns Figure 4's evidence table E1: the 1954 U.S. Open
+// (golf) leaderboard, transcribed from the paper.
+func USOpen1954Table() *table.Table {
+	t := table.New("case-usopen-1954", "1954 u.s. open (golf)",
+		[]string{"place", "player", "country", "score", "to par", "money"})
+	t.SourceID = CaseSource
+	t.MustAppendRow("t1", "ed furgol", "united states", "71 + 70 + 71 + 72 = 284", "+ 4", "6000")
+	t.MustAppendRow("t2", "gene littler", "united states", "70 + 69 + 76 + 70 = 285", "+ 5", "3600")
+	t.MustAppendRow("t3", "lloyd mangrum", "united states", "72 + 71 + 72 + 71 = 286", "+ 6", "1500")
+	t.MustAppendRow("t3", "dick mayer", "united states", "72 + 71 + 70 + 73 = 286", "+ 6", "1500")
+	t.MustAppendRow("t5", "bobby locke", "south africa", "74 + 70 + 74 + 70 = 288", "+ 8", "960")
+	t.MustAppendRow("t6", "tommy bolt", "united states", "72 + 72 + 73 + 72 = 289", "+ 9", "570")
+	t.MustAppendRow("t6", "fred haas", "united states", "73 + 73 + 71 + 72 = 289", "+ 9", "570")
+	t.MustAppendRow("t6", "ben hogan", "united states", "71 + 70 + 76 + 72 = 289", "+ 9", "570")
+	t.MustAppendRow("t6", "shelley mayfield", "united states", "73 + 75 + 72 + 69 = 289", "+ 9", "570")
+	t.MustAppendRow("t6", "billy joe patton (a)", "united states", "69 + 76 + 71 + 73 = 289", "+ 9", "0")
+	return t
+}
+
+// USOpen1959Table returns Figure 4's evidence table E2: U.S. Open champions
+// at the 1959 edition — related players, wrong year, hence "not related".
+func USOpen1959Table() *table.Table {
+	t := table.New("case-usopen-1959", "1959 u.s. open (golf)",
+		[]string{"player", "country", "year (s) won", "total", "to par", "finish"})
+	t.SourceID = CaseSource
+	t.MustAppendRow("ben hogan", "united states", "1948, 1950, 1951, 1953", "287", "+ 7", "t8")
+	t.MustAppendRow("cary middlecoff", "united states", "1949, 1956", "294", "+ 14", "t19")
+	t.MustAppendRow("jack fleck", "united states", "1955", "294", "+ 14", "t19")
+	t.MustAppendRow("julius boros", "united states", "1952", "297", "+ 17", "t28")
+	t.MustAppendRow("tommy bolt", "united states", "1958", "301", "+ 21", "t38")
+	return t
+}
+
+// GolfClaim returns Figure 4's claim: "In 1954 u.s. open (golf), the cash
+// prize for tommy bolt, fred haas, and ben hogan was 960 in total." — a
+// false claim (each won 570, totaling 1710) that E1 refutes via aggregation
+// and E2 cannot address.
+func GolfClaim() claims.Claim {
+	c := claims.Claim{
+		Context:   "1954 u.s. open (golf)",
+		Entities:  []string{"tommy bolt", "fred haas", "ben hogan"},
+		Attribute: "cash prize",
+		Op:        claims.OpSum,
+		Value:     "960",
+	}
+	c.Render()
+	return c
+}
+
+// StompTheYardClaim returns Figure 1(b)'s question as a claim: Meagan Good's
+// role in Stomp the Yard. The true role is april palmer.
+func StompTheYardClaim() claims.Claim {
+	c := claims.Claim{
+		Context:   "meagan good's filmography",
+		Entities:  []string{"stomp the yard"},
+		Attribute: "role",
+		Op:        claims.OpLookup,
+		Value:     "april palmer",
+	}
+	c.Render()
+	return c
+}
+
+// AddCaseData ingests all Figure 1 and Figure 4 case instances into the
+// corpus's lake so the end-to-end pipeline can retrieve them.
+func (c *Corpus) AddCaseData() error {
+	c.Lake.AddSource(datalake.Source{ID: CaseSource, Name: "paper case studies", TrustPrior: 0.9})
+	// Case tables are ingested into the lake only (not into c.Tables): the
+	// task generators sample from the synthetic tables, which carry domain
+	// metadata the case tables do not.
+	for _, t := range []*table.Table{
+		OhioDistrictsTable(), FilmographyTable(), USOpen1954Table(), USOpen1959Table(),
+	} {
+		if err := c.Lake.AddTable(t); err != nil {
+			return err
+		}
+	}
+	if err := c.Lake.AddDocument(MeaganGoodDoc()); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+// Package workload generates the synthetic corpora and tasks for every
+// experiment in the paper: a TabFact-style collection of web tables with
+// true/false textual claims, a WikiTable-TURL-style collection of
+// entity-linked tables with Wikipedia-like entity pages, the tuple-completion
+// task of Section 4, and the exact case data of Figures 1 and 4.
+//
+// Everything is generated deterministically from a seed (see
+// internal/detrand), so experiments are bit-reproducible.
+package workload
+
+// Name pools for deterministic entity generation. The cross product of
+// first and last names yields ~46k distinct people; surnames repeat across
+// entities, which is what makes text retrieval genuinely confusable (the
+// paper's tuple→text recall of 0.58 depends on entity pages not being
+// trivially distinguishable).
+var firstNames = []string{
+	"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+	"linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "charles", "karen", "chris",
+	"nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+	"mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+	"emily", "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy",
+	"kevin", "carol", "brian", "amanda", "george", "melissa", "edward",
+	"deborah", "ronald", "stephanie", "timothy", "rebecca", "jason", "sharon",
+	"jeffrey", "laura", "ryan", "cynthia", "jacob", "kathleen", "gary",
+	"amy", "nicholas", "shirley", "eric", "angela", "jonathan", "helen",
+	"stephen", "anna", "larry", "brenda", "justin", "pamela", "scott",
+	"nicole", "brandon", "emma", "benjamin", "samantha", "samuel", "katherine",
+	"gregory", "christine", "frank", "debra", "alexander", "rachel", "raymond",
+	"catherine", "patrick", "carolyn", "jack", "janet", "dennis", "ruth",
+	"jerry", "maria", "tyler", "heather", "aaron", "diane", "jose", "virginia",
+	"adam", "julie", "henry", "joyce", "nathan", "victoria", "douglas",
+	"olivia", "zachary", "kelly", "peter", "christina", "kyle", "lauren",
+	"walter", "joan", "ethan", "evelyn", "jeremy", "judith", "harold",
+	"megan", "keith", "cheryl", "christian", "andrea", "roger", "hannah",
+	"noah", "martha", "gerald", "jacqueline", "carl", "frances", "terry",
+	"gloria", "sean", "ann", "austin", "teresa", "arthur", "kathryn",
+	"lawrence", "sara", "jesse", "janice", "dylan", "jean", "bryan", "alice",
+	"joe", "madison", "jordan", "doris", "billy", "abigail", "bruce", "julia",
+	"albert", "judy", "willie", "grace", "gabriel", "denise", "logan",
+	"amber", "alan", "marilyn", "juan", "beverly", "wayne", "danielle",
+	"roy", "theresa", "ralph", "sophia", "randy", "marie", "eugene", "diana",
+	"vincent", "brittany", "russell", "natalie", "elijah", "isabella",
+	"louis", "charlotte", "bobby", "rose", "philip", "alexis", "johnny",
+	"kayla", "tommy", "fred", "ben", "ed", "gene", "lloyd", "dick", "shelley",
+	"cary", "julius", "meagan", "steve", "rob", "mike",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+	"ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+	"wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+	"adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+	"carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+	"parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+	"morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan",
+	"cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos",
+	"kim", "cox", "ward", "richardson", "watson", "brooks", "chavez",
+	"wood", "james", "bennett", "gray", "mendoza", "ruiz", "hughes",
+	"price", "alvarez", "castillo", "sanders", "patel", "myers", "long",
+	"ross", "foster", "jimenez", "powell", "jenkins", "perry", "russell",
+	"sullivan", "bell", "coleman", "butler", "henderson", "barnes",
+	"fisher", "vasquez", "simmons", "romero", "jordan", "patterson",
+	"alexander", "hamilton", "graham", "reynolds", "griffin", "wallace",
+	"moreno", "west", "cole", "hayes", "bryant", "herrera", "gibson",
+	"ellis", "tran", "medina", "aguilar", "stevens", "murray", "ford",
+	"castro", "marshall", "owens", "harrison", "fernandez", "mcdonald",
+	"woods", "washington", "kennedy", "wells", "vargas", "henry", "chen",
+	"freeman", "webb", "tucker", "guzman", "burns", "crawford", "olson",
+	"simpson", "porter", "hunter", "gordon", "mendez", "silva", "shaw",
+	"snyder", "mason", "dixon", "munoz", "hunt", "hicks", "holmes",
+	"palmer", "wagner", "black", "robertson", "boyd", "rose", "stone",
+	"salazar", "fox", "warren", "mills", "meyer", "rice", "schmidt",
+	"bolt", "haas", "hogan", "furgol", "littler", "mangrum", "mayer",
+	"locke", "mayfield", "patton", "middlecoff", "fleck", "boros", "chabot",
+	"portman", "oxley", "good",
+}
+
+var countries = []string{
+	"united states", "canada", "mexico", "brazil", "argentina", "england",
+	"scotland", "france", "germany", "italy", "spain", "sweden", "norway",
+	"finland", "denmark", "netherlands", "belgium", "switzerland", "austria",
+	"poland", "ireland", "portugal", "greece", "japan", "china", "india",
+	"australia", "new zealand", "south africa", "south korea", "colombia",
+	"chile", "peru", "fiji", "zimbabwe", "thailand", "vietnam", "egypt",
+}
+
+var cities = []string{
+	"springfield", "riverton", "oakdale", "maplewood", "fairview", "georgetown",
+	"ashland", "clinton", "franklin", "greenville", "bristol", "salem",
+	"madison", "arlington", "dover", "milton", "newport", "kingston",
+	"lexington", "burlington", "clayton", "dayton", "hudson", "jackson",
+	"monroe", "auburn", "florence", "manchester", "winchester", "lancaster",
+	"hamilton", "richmond", "albany", "trenton", "concord", "augusta",
+	"columbia", "raleigh", "denver", "phoenix", "portland", "seattle",
+	"brookfield", "cedarville", "eastport", "ferndale", "glenwood",
+	"harborview", "ironton", "juniper", "kentfield", "lakemont",
+	"marlowe", "northgate", "oakhurst", "pinecrest", "quarry hill",
+	"redwood", "stonebrook", "thornton", "umberland", "vanport",
+	"westbrook", "yardley", "ashford", "bellmore", "crestline",
+	"dunmore", "elkhart", "fairmont", "grantville", "hollis",
+	"inverness", "jasper", "kingsford", "larkspur", "midvale",
+	"newhall", "ottersberg", "palisade", "quincy", "rockledge",
+}
+
+var usStates = []string{
+	"ohio", "texas", "california", "florida", "new york", "pennsylvania",
+	"illinois", "georgia", "michigan", "virginia", "washington", "arizona",
+	"tennessee", "indiana", "missouri", "maryland", "wisconsin", "colorado",
+	"minnesota", "alabama", "kentucky", "oregon", "oklahoma", "iowa",
+	"kansas", "utah", "nevada", "arkansas", "mississippi", "nebraska",
+}
+
+var parties = []string{"republican", "democratic", "independent"}
+
+var professions = []string{
+	"golfer", "actress", "actor", "politician", "singer", "basketball player",
+	"football player", "swimmer", "cyclist", "novelist", "journalist",
+	"economist", "engineer", "chef", "director", "producer", "physicist",
+}
+
+var filmTitles = []string{
+	"miles from home", "waist deep", "stomp the yard", "one missed call",
+	"the love guru", "midnight harbor", "silver canyon", "the last ledger",
+	"paper lanterns", "crimson tide rising", "the glass orchard",
+	"winter's arithmetic", "a quiet ferocity", "the cartographer",
+	"echoes of clay", "sundown boulevard", "the seventh juror",
+	"brambleton heights", "the violet hour", "northbound", "harvest of stone",
+	"the gilded cage", "saltwater promises", "the long thaw", "ironwood",
+	"city of sparrows", "the borrowed years", "halfway to somewhere",
+	"the memory merchant", "glasshouse rules", "a field of static",
+	"the paper admiral", "low tide at noon", "the unfinished bridge",
+}
+
+var filmRoles = []string{
+	"natasha freeman", "coco", "april palmer", "shelley baum",
+	"prudence roanoke", "detective lana cole", "dr. renee walsh",
+	"captain elise moore", "sergeant dana frost", "professor iris bell",
+	"nurse camille reyes", "agent sonya park", "judge marian holt",
+	"reporter gail foster", "chef rosa delgado", "pilot jean harper",
+}
+
+var albumAdjectives = []string{
+	"electric", "velvet", "broken", "golden", "silent", "neon", "paper",
+	"hollow", "crystal", "midnight", "scarlet", "wandering", "forgotten",
+}
+
+var albumNouns = []string{
+	"horizon", "garden", "mirror", "avenue", "season", "letters", "engine",
+	"harbor", "lantern", "compass", "orchard", "anthem", "satellite",
+}
+
+var recordLabels = []string{
+	"blue harbor records", "northline music", "gilt note", "stonebridge",
+	"red letter audio", "parallel sound", "arcadia records", "sable music",
+}
+
+var teamNames = []string{
+	"wildcats", "falcons", "mustangs", "pioneers", "rockets", "bulldogs",
+	"hornets", "panthers", "chargers", "raiders", "mariners", "comets",
+	"lumberjacks", "senators", "grizzlies", "cardinals", "stallions",
+}
+
+var industries = []string{
+	"software", "logistics", "pharmaceuticals", "retail", "aerospace",
+	"insurance", "telecommunications", "agriculture", "energy", "media",
+	"banking", "hospitality", "construction", "mining", "textiles",
+}
+
+var months = []string{
+	"january", "february", "march", "april", "may", "june", "july",
+	"august", "september", "october", "november", "december",
+}
+
+var ordinals = []string{
+	"1st", "2nd", "3rd", "4th", "5th", "6th", "7th", "8th", "9th", "10th",
+	"11th", "12th", "13th", "14th", "15th", "16th", "17th", "18th",
+}
