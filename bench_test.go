@@ -9,14 +9,18 @@ package verifai
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datalake"
 	"repro/internal/embed"
 	"repro/internal/experiments"
 	"repro/internal/invindex"
+	"repro/internal/table"
 	"repro/internal/vecindex"
 	"repro/internal/verify"
 	"repro/internal/workload"
@@ -349,6 +353,136 @@ func BenchmarkVectorSearch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// reportLatencyPercentiles reports p50/p99 over per-op durations.
+func reportLatencyPercentiles(b *testing.B, durs []time.Duration) {
+	if len(durs) == 0 {
+		return
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(durs)-1))
+		return float64(durs[i].Nanoseconds())
+	}
+	b.ReportMetric(pick(0.50), "p50-ns")
+	b.ReportMetric(pick(0.99), "p99-ns")
+}
+
+// retrievalBenchLake builds the multi-kind retrieval corpus shared by the
+// sharding and mixed ingest+query benchmarks.
+func retrievalBenchLake(b *testing.B, tables, texts int) *workload.Corpus {
+	b.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.NumTables = tables
+	cfg.NumTexts = texts
+	corpus, err := workload.GenerateLake(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return corpus
+}
+
+// BenchmarkRetrievalSharding measures multi-kind retrieval latency (p50 and
+// p99 per query) on the seed layout (1 shard) vs the sharded parallel
+// fan-out, the tentpole speedup of the live-lake refactor.
+func BenchmarkRetrievalSharding(b *testing.B) {
+	corpus := retrievalBenchLake(b, 800, 400)
+	queries := make([]string, 64)
+	for i := range queries {
+		queries[i] = corpus.Tables[(i*37)%len(corpus.Tables)].SerializeForIndex()
+	}
+	layouts := []struct {
+		name    string
+		shards  int
+		workers int
+	}{
+		{"seed-sequential", 1, 1}, // the pre-refactor layout: one shard, no fan-out
+		{"shards=1-parallel", 1, 0},
+		{"shards=4-parallel", 4, 0},
+	}
+	for _, layout := range layouts {
+		icfg := core.DefaultIndexerConfig(1)
+		icfg.Shards = layout.shards
+		icfg.RetrieveWorkers = layout.workers
+		icfg.QueryCacheSize = 0 // measure search, not embedding-cache hits
+		ix, err := core.BuildIndexer(corpus.Lake, icfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(layout.name, func(b *testing.B) {
+			durs := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				_, combined := ix.Retrieve(queries[i%len(queries)], 100)
+				durs = append(durs, time.Since(start))
+				if len(combined) == 0 {
+					b.Fatal("no results")
+				}
+			}
+			b.StopTimer()
+			reportLatencyPercentiles(b, durs)
+		})
+		ix.Close() // detach from the shared lake before the next layout
+	}
+}
+
+// benchIngestSeq keeps live-ingested table IDs unique across benchmark
+// re-runs (the lake persists while the harness retries larger b.N).
+var benchIngestSeq atomic.Int64
+
+// BenchmarkMixedIngestQuery measures retrieval latency while tables stream
+// into the live lake — the online-ingestion-under-query-load scenario the
+// frozen seed could not express.
+func BenchmarkMixedIngestQuery(b *testing.B) {
+	corpus := retrievalBenchLake(b, 400, 200)
+	icfg := core.DefaultIndexerConfig(1)
+	icfg.Shards = 4
+	ix, err := core.BuildIndexer(corpus.Lake, icfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]string, 64)
+	for i := range queries {
+		queries[i] = corpus.Tables[(i*17)%len(corpus.Tables)].SerializeForIndex()
+	}
+
+	stop := make(chan struct{})
+	var ingested int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seq := benchIngestSeq.Add(1)
+			t := table.New(fmt.Sprintf("bench-live-%d", seq), fmt.Sprintf("live benchmark table %d", seq), []string{"k", "v"})
+			t.MustAppendRow(fmt.Sprintf("key%d", seq), fmt.Sprintf("value%d", seq))
+			if err := corpus.Lake.AddTable(t); err != nil {
+				b.Error(err)
+				return
+			}
+			atomic.AddInt64(&ingested, 1)
+		}
+	}()
+
+	durs := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		ix.Retrieve(queries[i%len(queries)], 100)
+		durs = append(durs, time.Since(start))
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	reportLatencyPercentiles(b, durs)
+	b.ReportMetric(float64(atomic.LoadInt64(&ingested))/float64(b.N), "ingests/op")
 }
 
 // BenchmarkEmbedText measures embedding throughput.

@@ -11,8 +11,10 @@
 //	    verify (or re-verify with an overridden value) one tuple attribute
 //	verifai demo
 //	    run the paper's Figure 1 and Figure 4 cases on the built-in case lake
-//	verifai serve -lake DIR -addr :8080
-//	    serve the verification pipeline as an HTTP JSON API
+//	verifai serve -lake DIR -addr :8080 [-shards N]
+//	    serve the verification pipeline as an HTTP JSON API over the live
+//	    lake (reads keep being served while /v1/ingest/* writes arrive);
+//	    -shards enables the sharded parallel retrieval layout
 //
 // The lake directory is produced by cmd/lakegen (or any tool writing the
 // lakeio layout). Add -exact=false to enable the calibrated error profiles
@@ -73,7 +75,7 @@ func commonFlags(fs *flag.FlagSet) (lakeDir *string, seed *uint64, exact *bool) 
 	return
 }
 
-func buildSystem(lakeDir string, seed uint64, exact bool) (*verifai.System, *verifai.Lake, error) {
+func buildSystem(lakeDir string, seed uint64, exact bool, shards int) (*verifai.System, *verifai.Lake, error) {
 	if lakeDir == "" {
 		return nil, nil, fmt.Errorf("-lake is required")
 	}
@@ -84,6 +86,9 @@ func buildSystem(lakeDir string, seed uint64, exact bool) (*verifai.System, *ver
 	opts := verifai.DefaultOptions(seed)
 	if exact {
 		opts = verifai.ExactOptions(seed)
+	}
+	if shards > 0 {
+		opts.Indexer.Shards = shards
 	}
 	sys, err := verifai.NewSystem(lake, opts)
 	if err != nil {
@@ -126,7 +131,7 @@ func runClaim(args []string) error {
 	if *text == "" {
 		return fmt.Errorf("-text is required")
 	}
-	sys, _, err := buildSystem(*lakeDir, *seed, *exact)
+	sys, _, err := buildSystem(*lakeDir, *seed, *exact, 0)
 	if err != nil {
 		return err
 	}
@@ -192,7 +197,7 @@ func runTuple(args []string) error {
 	if *tableID == "" || *attr == "" {
 		return fmt.Errorf("-table and -attr are required")
 	}
-	sys, lake, err := buildSystem(*lakeDir, *seed, *exact)
+	sys, lake, err := buildSystem(*lakeDir, *seed, *exact, 0)
 	if err != nil {
 		return err
 	}
@@ -274,10 +279,11 @@ func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	lakeDir, seed, exact := commonFlags(fs)
 	addr := fs.String("addr", ":8080", "listen address")
+	shards := fs.Int("shards", 0, "index shards per kind and family (0 = unsharded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sys, lake, err := buildSystem(*lakeDir, *seed, *exact)
+	sys, lake, err := buildSystem(*lakeDir, *seed, *exact, *shards)
 	if err != nil {
 		return err
 	}

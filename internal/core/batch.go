@@ -13,9 +13,10 @@ import (
 // verifications (values < 1 mean sequential). The first error stops new work
 // from being dispatched and is returned.
 //
-// The pipeline is safe for concurrent verification: indexes and the lake are
-// read-only after build, the embedder cache and the provenance store are
-// internally synchronized, and verdict resolution is per-object.
+// The pipeline is safe for concurrent verification: the lake and every index
+// structure are internally synchronized (ingestion may even proceed while a
+// batch runs), the embedder cache and the provenance store are concurrent,
+// and verdict resolution is per-object.
 func (p *Pipeline) VerifyBatch(objects []verify.Generated, parallelism int, kinds ...datalake.Kind) ([]Report, error) {
 	if len(objects) == 0 {
 		return nil, nil
@@ -48,6 +49,16 @@ func (p *Pipeline) VerifyBatch(objects []verify.Generated, parallelism int, kind
 		return firstErr != nil
 	}
 
+	// Each in-flight verification runs its evidence sequentially when the
+	// batch itself is parallel, so verifier concurrency stays at the
+	// requested bound instead of multiplying by cfg.VerifyWorkers. (The
+	// retrieval stage inside each verification still uses its own
+	// short-lived fan-out; those goroutines are multiplexed onto GOMAXPROCS
+	// by the scheduler, so actual CPU parallelism stays machine-bounded.)
+	evidenceWorkers := p.cfg.VerifyWorkers
+	if parallelism > 1 {
+		evidenceWorkers = 1
+	}
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
@@ -56,7 +67,7 @@ func (p *Pipeline) VerifyBatch(objects []verify.Generated, parallelism int, kind
 				if failed() {
 					continue // drain without working
 				}
-				rep, err := p.Verify(objects[i], kinds...)
+				rep, err := p.verifyWith(objects[i], evidenceWorkers, kinds...)
 				if err != nil {
 					fail(fmt.Errorf("core: verify object %d (%s): %w", i, objects[i].ID, err))
 					continue

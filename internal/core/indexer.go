@@ -1,18 +1,21 @@
 // Package core assembles VerifAI's pipeline — Indexer, Combiner, Reranker,
 // and Verifier Agent (Figures 2 and 3 of the paper) — into an end-to-end
-// verification service over a multi-modal data lake, with provenance
+// verification service over a live multi-modal data lake, with provenance
 // recording and trust-weighted verdict resolution.
 package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/datalake"
 	"repro/internal/doc"
 	"repro/internal/embed"
 	"repro/internal/invindex"
 	"repro/internal/provenance"
+	"repro/internal/table"
 	"repro/internal/vecindex"
 )
 
@@ -32,6 +35,7 @@ const (
 type vectorIndex interface {
 	vecindex.Searcher
 	Add(id string, v embed.Vector) error
+	Remove(id string) bool
 }
 
 // IndexerConfig controls index construction.
@@ -60,9 +64,30 @@ type IndexerConfig struct {
 	// ChunkTokens bounds text chunks for the semantic index (the paper's
 	// "chunked text files"); <= 0 indexes whole documents.
 	ChunkTokens int
+	// Shards is the number of hash shards per (kind, index family) pair.
+	// Instance IDs hash to a shard; retrieval fans out across shards in
+	// parallel and merges shard results by score, so shards bound
+	// per-worker search cost and keep searches on other shards unblocked
+	// while one shard takes an ingest write lock. (Ingest itself is
+	// serialized by the lake's write lock for event ordering, so shards
+	// raise read concurrency, not write throughput.) <= 0 means 1 (the
+	// unsharded seed layout). Note that BM25 collection statistics (IDF,
+	// average document length) are shard-local, as in a distributed
+	// Elasticsearch deployment.
+	Shards int
+	// RetrieveWorkers bounds the worker pool that fans retrieval out across
+	// shards × kinds × index families; <= 0 means GOMAXPROCS.
+	RetrieveWorkers int
+	// QueryCacheSize is the capacity of the query-embedding LRU cache shared
+	// by all retrievals; <= 0 disables the cache. Repeated queries (the
+	// heavy-traffic case) skip the embedding computation entirely.
+	QueryCacheSize int
 }
 
 // DefaultIndexerConfig indexes every modality with both index families.
+// Shards defaults to 1 so single-shard results are bit-identical to the
+// original unsharded layout; services expecting ingest-heavy or very large
+// lakes should raise it.
 func DefaultIndexerConfig(seed uint64) IndexerConfig {
 	return IndexerConfig{
 		Seed:         seed,
@@ -77,63 +102,116 @@ func DefaultIndexerConfig(seed uint64) IndexerConfig {
 		Kinds: []datalake.Kind{
 			datalake.KindTable, datalake.KindTuple, datalake.KindText, datalake.KindEntity,
 		},
-		ChunkTokens: 0,
+		ChunkTokens:    0,
+		Shards:         1,
+		QueryCacheSize: 256,
 	}
 }
 
 // Indexer is VerifAI's Indexer module: task-agnostic content-based (BM25)
 // and semantic-based (vector) indexes over lake instances, partitioned by
-// modality so retrieval can target the data types a task needs.
+// modality so retrieval can target the data types a task needs, and sharded
+// by instance-ID hash so searches fan out in parallel and concurrent ingest
+// spreads lock contention.
+//
+// The indexer is live: BuildIndexer subscribes it to the lake's change feed,
+// so instances ingested after construction become retrievable immediately,
+// with no rebuild. All methods are safe for concurrent use.
 type Indexer struct {
 	lake *datalake.Lake
 	emb  *embed.Embedder
 	cfg  IndexerConfig
 
-	bm25 map[datalake.Kind]*invindex.Index
-	vec  map[datalake.Kind]vectorIndex
+	bm25 map[datalake.Kind][]*invindex.Index
+	vec  map[datalake.Kind][]vectorIndex
+
+	qcache      *queryCache
+	workers     int
+	unsubscribe func()
 }
 
-// BuildIndexer indexes the lake's instances per cfg. The lake must be fully
-// ingested first; instances added to the lake afterwards are not visible to
-// the indexer.
+// BuildIndexer indexes the lake's current instances per cfg and subscribes
+// to the lake's change feed for incremental maintenance: tables, documents,
+// and triples added to the lake afterwards are indexed as they arrive.
 func BuildIndexer(lake *datalake.Lake, cfg IndexerConfig) (*Indexer, error) {
 	if cfg.EmbedDim <= 0 {
 		cfg.EmbedDim = 64
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	if !cfg.EnableBM25 && !cfg.EnableVector {
 		return nil, fmt.Errorf("core: indexer needs at least one index family enabled")
 	}
+	workers := cfg.RetrieveWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	ix := &Indexer{
-		lake: lake,
-		emb:  embed.NewEmbedder(cfg.EmbedDim, cfg.Seed),
-		cfg:  cfg,
-		bm25: make(map[datalake.Kind]*invindex.Index),
-		vec:  make(map[datalake.Kind]vectorIndex),
+		lake:    lake,
+		emb:     embed.NewEmbedder(cfg.EmbedDim, cfg.Seed),
+		cfg:     cfg,
+		bm25:    make(map[datalake.Kind][]*invindex.Index),
+		vec:     make(map[datalake.Kind][]vectorIndex),
+		qcache:  newQueryCache(cfg.QueryCacheSize),
+		workers: workers,
 	}
 	for _, kind := range cfg.Kinds {
 		if cfg.EnableBM25 {
-			ix.bm25[kind] = invindex.New()
+			shards := make([]*invindex.Index, cfg.Shards)
+			for i := range shards {
+				shards[i] = invindex.New()
+			}
+			ix.bm25[kind] = shards
 		}
 		if cfg.EnableVector {
-			v, err := ix.newVectorIndex()
-			if err != nil {
-				return nil, err
+			shards := make([]vectorIndex, cfg.Shards)
+			for i := range shards {
+				v, err := ix.newVectorIndex()
+				if err != nil {
+					return nil, err
+				}
+				shards[i] = v
 			}
-			ix.vec[kind] = v
+			ix.vec[kind] = shards
 		}
 	}
-	if err := ix.ingest(); err != nil {
+	// Bulk-index the current lake contents and subscribe to the change feed
+	// atomically: OnChangeSync holds the lake's write lock across both, so a
+	// concurrent ingest can never land between the snapshot walk and the
+	// subscription (it would be neither bulk-indexed nor delivered).
+	unsubscribe, err := lake.OnChangeSync(func() error {
+		if err := ix.ingest(); err != nil {
+			return err
+		}
+		// Train IVF cells after bulk load. Vectors added afterwards are
+		// assigned to their nearest trained cell by vecindex.IVF.Add.
+		if cfg.EnableVector && cfg.Vector == VectorIVF {
+			for _, shards := range ix.vec {
+				for _, v := range shards {
+					if ivf, ok := v.(*vecindex.IVF); ok {
+						ivf.Train()
+					}
+				}
+			}
+		}
+		return nil
+	}, ix.apply)
+	if err != nil {
 		return nil, err
 	}
-	// Train IVF cells after bulk load.
-	if cfg.EnableVector && cfg.Vector == VectorIVF {
-		for _, v := range ix.vec {
-			if ivf, ok := v.(*vecindex.IVF); ok {
-				ivf.Train()
-			}
-		}
-	}
+	ix.unsubscribe = unsubscribe
 	return ix, nil
+}
+
+// Close detaches the indexer from the lake's change feed. A replaced or
+// abandoned indexer must be closed, or every future ingest keeps feeding
+// (and growing) its dead index structures. The indexes remain searchable
+// after Close; they just stop updating. Idempotent.
+func (ix *Indexer) Close() {
+	if ix.unsubscribe != nil {
+		ix.unsubscribe()
+	}
 }
 
 // Embedder exposes the shared embedding space (the reranker uses the same
@@ -163,6 +241,21 @@ func (ix *Indexer) wantKind(kind datalake.Kind) bool {
 	return false
 }
 
+// shard maps an instance ID to its shard ordinal (inline FNV-1a: the
+// hasher sits on the per-instance ingest hot path, and hash/fnv's
+// interface-based API would allocate on every call).
+func (ix *Indexer) shard(id string) int {
+	if ix.cfg.Shards <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h % uint32(ix.cfg.Shards))
+}
+
 // ingest walks the lake and feeds both index families.
 func (ix *Indexer) ingest() error {
 	if ix.wantKind(datalake.KindTable) || ix.wantKind(datalake.KindTuple) {
@@ -171,20 +264,8 @@ func (ix *Indexer) ingest() error {
 			if !ok {
 				return fmt.Errorf("core: lake table %q vanished during ingest", tid)
 			}
-			if ix.wantKind(datalake.KindTable) {
-				id := datalake.TableInstanceID(tid)
-				if err := ix.add(datalake.KindTable, id, t.SerializeForIndex()); err != nil {
-					return err
-				}
-			}
-			if ix.wantKind(datalake.KindTuple) {
-				for row := range t.Rows {
-					tp, _ := t.TupleAt(row)
-					id := datalake.TupleInstanceID(tid, row)
-					if err := ix.add(datalake.KindTuple, id, tp.SerializeForIndex()); err != nil {
-						return err
-					}
-				}
+			if err := ix.indexTable(t); err != nil {
+				return err
 			}
 		}
 	}
@@ -194,8 +275,7 @@ func (ix *Indexer) ingest() error {
 			if !ok {
 				return fmt.Errorf("core: lake document %q vanished during ingest", did)
 			}
-			id := datalake.TextInstanceID(did)
-			if err := ix.addText(id, d); err != nil {
+			if err := ix.indexDocument(d); err != nil {
 				return err
 			}
 		}
@@ -212,19 +292,108 @@ func (ix *Indexer) ingest() error {
 	return nil
 }
 
-// add indexes one instance in both families.
+// apply is the lake change hook: it routes one committed mutation into the
+// affected indexes. Events arrive in lake-version order on the ingesting
+// goroutine.
+func (ix *Indexer) apply(ev datalake.Event) error {
+	switch ev.Kind {
+	case datalake.KindTable:
+		return ix.indexTable(ev.Table)
+	case datalake.KindText:
+		return ix.indexDocument(ev.Doc)
+	case datalake.KindEntity:
+		return ix.reindexEntity(ev.Triple.Subject)
+	default:
+		return fmt.Errorf("core: unhandled lake event kind %v", ev.Kind)
+	}
+}
+
+// indexTable indexes a table whole and/or per tuple, per the configured
+// kinds.
+func (ix *Indexer) indexTable(t *table.Table) error {
+	if ix.wantKind(datalake.KindTable) {
+		id := datalake.TableInstanceID(t.ID)
+		if err := ix.add(datalake.KindTable, id, t.SerializeForIndex()); err != nil {
+			return err
+		}
+	}
+	if ix.wantKind(datalake.KindTuple) {
+		for row := range t.Rows {
+			tp, _ := t.TupleAt(row)
+			id := datalake.TupleInstanceID(t.ID, row)
+			if err := ix.add(datalake.KindTuple, id, tp.SerializeForIndex()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// indexDocument indexes a text document (whole for BM25, chunked for the
+// vector family when configured).
+func (ix *Indexer) indexDocument(d *doc.Document) error {
+	if !ix.wantKind(datalake.KindText) {
+		return nil
+	}
+	return ix.addText(datalake.TextInstanceID(d.ID), d)
+}
+
+// add indexes one instance in both families, on the instance's shard.
 func (ix *Indexer) add(kind datalake.Kind, id, text string) error {
-	if b, ok := ix.bm25[kind]; ok {
-		if err := b.Add(id, text); err != nil {
+	if shards, ok := ix.bm25[kind]; ok {
+		if err := shards[ix.shard(id)].Add(id, text); err != nil {
 			return fmt.Errorf("core: bm25 add %s: %w", id, err)
 		}
 	}
-	if v, ok := ix.vec[kind]; ok {
-		if err := v.Add(id, ix.emb.EmbedText(text)); err != nil {
+	if shards, ok := ix.vec[kind]; ok {
+		if err := shards[ix.shard(id)].Add(id, ix.emb.EmbedText(text)); err != nil {
 			return fmt.Errorf("core: vector add %s: %w", id, err)
 		}
 	}
 	return nil
+}
+
+// remove drops one instance from both families (no-op for unindexed IDs).
+// For chunked text instances the vector family stores per-chunk sub-IDs
+// ("id@seq"), which are enumerated and removed individually.
+func (ix *Indexer) remove(kind datalake.Kind, id string) {
+	if shards, ok := ix.bm25[kind]; ok {
+		shards[ix.shard(id)].Delete(id)
+	}
+	shards, ok := ix.vec[kind]
+	if !ok {
+		return
+	}
+	shards[ix.shard(id)].Remove(id)
+	if kind == datalake.KindText && ix.cfg.ChunkTokens > 0 {
+		// Chunk sequence numbers are contiguous from 0, so stop at the
+		// first miss.
+		for seq := 0; ; seq++ {
+			chunkID := fmt.Sprintf("%s@%d", id, seq)
+			if !shards[ix.shard(chunkID)].Remove(chunkID) {
+				break
+			}
+		}
+	}
+}
+
+// reindexEntity refreshes an entity's serialized neighborhood after a new
+// triple about it arrived: the stale instance (if any) is tombstoned and the
+// re-serialized neighborhood indexed in its place. The instance is keyed by
+// the graph's canonical (first-seen) subject casing — the same key bulk
+// ingest derives from Graph.Entities() — so a triple whose subject varies
+// only in case updates the existing instance instead of forking a new one.
+func (ix *Indexer) reindexEntity(entity string) error {
+	if !ix.wantKind(datalake.KindEntity) {
+		return nil
+	}
+	g := ix.lake.Graph()
+	if canon, ok := g.Canonical(entity); ok {
+		entity = canon
+	}
+	id := datalake.EntityInstanceID(entity)
+	ix.remove(datalake.KindEntity, id)
+	return ix.add(datalake.KindEntity, id, g.SerializeEntity(entity))
 }
 
 // addText indexes a document: BM25 over the whole text, vectors per chunk
@@ -232,89 +401,229 @@ func (ix *Indexer) add(kind datalake.Kind, id, text string) error {
 // share the document's instance ID suffixless for BM25; for vectors each
 // chunk gets a sub-ID that maps back to the document at combine time.
 func (ix *Indexer) addText(id string, d *doc.Document) error {
-	if b, ok := ix.bm25[datalake.KindText]; ok {
-		if err := b.Add(id, d.SerializeForIndex()); err != nil {
+	if shards, ok := ix.bm25[datalake.KindText]; ok {
+		if err := shards[ix.shard(id)].Add(id, d.SerializeForIndex()); err != nil {
 			return fmt.Errorf("core: bm25 add %s: %w", id, err)
 		}
 	}
-	v, ok := ix.vec[datalake.KindText]
+	shards, ok := ix.vec[datalake.KindText]
 	if !ok {
 		return nil
 	}
 	if ix.cfg.ChunkTokens <= 0 {
-		if err := v.Add(id, ix.emb.EmbedText(d.SerializeForIndex())); err != nil {
+		if err := shards[ix.shard(id)].Add(id, ix.emb.EmbedText(d.SerializeForIndex())); err != nil {
 			return fmt.Errorf("core: vector add %s: %w", id, err)
 		}
 		return nil
 	}
 	for _, ch := range doc.ChunkDocument(d, ix.cfg.ChunkTokens) {
 		chunkID := fmt.Sprintf("%s@%d", id, ch.Seq)
-		if err := v.Add(chunkID, ix.emb.EmbedText(d.Title+" "+ch.Text)); err != nil {
+		if err := shards[ix.shard(chunkID)].Add(chunkID, ix.emb.EmbedText(d.Title+" "+ch.Text)); err != nil {
 			return fmt.Errorf("core: vector add %s: %w", chunkID, err)
 		}
 	}
 	return nil
 }
 
-// Retrieve runs the task-agnostic retrieval for the query against the given
-// kinds (all configured kinds when none given): top-k per index family per
-// kind. It returns the raw hits (for provenance) and the combined,
-// deduplicated candidate IDs in best-first order — the Combiner of
-// Section 3.1.
-func (ix *Indexer) Retrieve(query string, k int, kinds ...datalake.Kind) ([]provenance.RetrievalHit, []string) {
+// queryVec embeds a query, consulting the LRU cache first.
+func (ix *Indexer) queryVec(query string) embed.Vector {
+	if ix.qcache != nil {
+		if v, ok := ix.qcache.get(query); ok {
+			return v
+		}
+	}
+	v := ix.emb.EmbedText(query)
+	if ix.qcache != nil {
+		ix.qcache.put(query, v)
+	}
+	return v
+}
+
+// QueryCacheStats reports the query-embedding cache's hit/miss counters and
+// current size (all zero when the cache is disabled), for tests and ops
+// dashboards.
+func (ix *Indexer) QueryCacheStats() (hits, misses uint64, size int) {
+	if ix.qcache == nil {
+		return 0, 0, 0
+	}
+	return ix.qcache.stats()
+}
+
+// scoredHit is one shard-local search result.
+type scoredHit struct {
+	id    string
+	score float64
+}
+
+// retrGroup collects the shard results for one (kind, family) pair; shard
+// lists merge by score into the group's final ranking.
+type retrGroup struct {
+	family    string
+	shardHits [][]scoredHit
+}
+
+// merged flattens the group's shard lists into a single best-first list of
+// at most k hits (score descending, ties by ascending ID — the same order
+// each shard already emits).
+func (g *retrGroup) merged(k int) []scoredHit {
+	if len(g.shardHits) == 1 {
+		return g.shardHits[0]
+	}
+	var all []scoredHit
+	for _, hs := range g.shardHits {
+		all = append(all, hs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].id < all[j].id
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// runParallel executes tasks on a bounded worker pool (inline when the pool
+// would be pointless).
+func runParallel(tasks []func(), workers int) {
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 || len(tasks) <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan func())
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				t()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// families selects which index families to search: both for Retrieve, one
+// for RetrieveFamily.
+const (
+	familyBM25   = "bm25"
+	familyVector = "vector"
+)
+
+// search fans retrieval out across shards × kinds × the requested families
+// on the bounded worker pool, merges each (kind, family) group's shard
+// results by score, and returns the ranked hits in deterministic group
+// order (kinds as requested, BM25 before vector).
+func (ix *Indexer) search(query string, k int, kinds []datalake.Kind, wantBM25, wantVector bool) []provenance.RetrievalHit {
 	if len(kinds) == 0 {
 		kinds = ix.cfg.Kinds
 	}
-	var hits []provenance.RetrievalHit
+	// Embed the query only when some requested kind actually has a vector
+	// index; BM25-only retrievals (and kinds outside the configured set)
+	// skip the embedding computation entirely.
 	var qvec embed.Vector
-	if ix.cfg.EnableVector {
-		qvec = ix.emb.EmbedText(query)
+	if wantVector {
+		needVec := false
+		for _, kind := range kinds {
+			if len(ix.vec[kind]) > 0 {
+				needVec = true
+				break
+			}
+		}
+		if needVec {
+			qvec = ix.queryVec(query)
+		}
 	}
+
+	// Analyze the query once; every BM25 shard shares the same chain, so
+	// fan-out does not re-tokenize per shard.
+	var qterms []string
+	var groups []*retrGroup
+	var tasks []func()
 	for _, kind := range kinds {
-		if b, ok := ix.bm25[kind]; ok {
-			for rank, h := range b.Search(query, k) {
-				hits = append(hits, provenance.RetrievalHit{Index: "bm25", InstanceID: h.ID, Score: h.Score, Rank: rank})
+		if wantBM25 {
+			if shards := ix.bm25[kind]; len(shards) > 0 {
+				if qterms == nil {
+					qterms = shards[0].Analyze(query)
+				}
+				g := &retrGroup{family: familyBM25, shardHits: make([][]scoredHit, len(shards))}
+				groups = append(groups, g)
+				for si, sh := range shards {
+					si, sh := si, sh
+					tasks = append(tasks, func() {
+						for _, h := range sh.SearchTerms(qterms, k) {
+							g.shardHits[si] = append(g.shardHits[si], scoredHit{id: h.ID, score: h.Score})
+						}
+					})
+				}
 			}
 		}
-		if v, ok := ix.vec[kind]; ok {
-			for rank, h := range v.Search(qvec, k) {
-				hits = append(hits, provenance.RetrievalHit{Index: "vector", InstanceID: chunkParent(h.ID), Score: h.Score, Rank: rank})
+		if wantVector {
+			if shards := ix.vec[kind]; len(shards) > 0 {
+				g := &retrGroup{family: familyVector, shardHits: make([][]scoredHit, len(shards))}
+				groups = append(groups, g)
+				for si, sh := range shards {
+					si, sh := si, sh
+					tasks = append(tasks, func() {
+						for _, h := range sh.Search(qvec, k) {
+							g.shardHits[si] = append(g.shardHits[si], scoredHit{id: h.ID, score: h.Score})
+						}
+					})
+				}
 			}
 		}
 	}
+	runParallel(tasks, ix.workers)
+
+	var hits []provenance.RetrievalHit
+	for _, g := range groups {
+		for rank, h := range g.merged(k) {
+			id := h.id
+			if g.family == familyVector {
+				id = chunkParent(id)
+			}
+			hits = append(hits, provenance.RetrievalHit{Index: g.family, InstanceID: id, Score: h.score, Rank: rank})
+		}
+	}
+	return hits
+}
+
+// Retrieve runs the task-agnostic retrieval for the query against the given
+// kinds (all configured kinds when none given): top-k per index family per
+// kind, fanned out in parallel across index shards. It returns the raw hits
+// (for provenance) and the combined, deduplicated candidate IDs in
+// best-first order — the Combiner of Section 3.1.
+func (ix *Indexer) Retrieve(query string, k int, kinds ...datalake.Kind) ([]provenance.RetrievalHit, []string) {
+	hits := ix.search(query, k, kinds, true, ix.cfg.EnableVector)
 	return hits, combine(hits)
 }
 
 // RetrieveFamily retrieves from a single index family ("bm25" or "vector"),
 // for the Combiner ablation. Unknown family names return nothing.
 func (ix *Indexer) RetrieveFamily(query, family string, k int, kinds ...datalake.Kind) []string {
-	if len(kinds) == 0 {
-		kinds = ix.cfg.Kinds
-	}
-	var hits []provenance.RetrievalHit
 	switch family {
-	case "bm25":
-		for _, kind := range kinds {
-			if b, ok := ix.bm25[kind]; ok {
-				for rank, h := range b.Search(query, k) {
-					hits = append(hits, provenance.RetrievalHit{Index: family, InstanceID: h.ID, Score: h.Score, Rank: rank})
-				}
-			}
-		}
-	case "vector":
+	case familyBM25:
+		return combine(ix.search(query, k, kinds, true, false))
+	case familyVector:
 		if !ix.cfg.EnableVector {
 			return nil
 		}
-		qvec := ix.emb.EmbedText(query)
-		for _, kind := range kinds {
-			if v, ok := ix.vec[kind]; ok {
-				for rank, h := range v.Search(qvec, k) {
-					hits = append(hits, provenance.RetrievalHit{Index: family, InstanceID: chunkParent(h.ID), Score: h.Score, Rank: rank})
-				}
-			}
-		}
+		return combine(ix.search(query, k, kinds, false, true))
+	default:
+		return nil
 	}
-	return combine(hits)
 }
 
 // chunkParent strips a chunk suffix ("text:doc-1@2" → "text:doc-1").

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/datalake"
 	"repro/internal/provenance"
@@ -22,20 +23,29 @@ type PipelineConfig struct {
 	// candidates are truncated to TopKPrime in combiner order (the
 	// ablation's baseline).
 	UseReranker bool
+	// VerifyWorkers bounds concurrent verification of the top-k′ evidence
+	// within one Verify call (order-preserving, like VerifyBatch); <= 1
+	// means sequential. The verifiers are deterministic functions of
+	// (object, evidence), so the report is identical either way.
+	VerifyWorkers int
 }
 
-// DefaultPipelineConfig returns the paper's settings.
+// DefaultPipelineConfig returns the paper's settings, with the top-k′
+// evidence verified concurrently.
 func DefaultPipelineConfig() PipelineConfig {
-	return PipelineConfig{TopK: 100, TopKPrime: 5, UseReranker: true}
+	return PipelineConfig{TopK: 100, TopKPrime: 5, UseReranker: true, VerifyWorkers: 4}
 }
 
-// Pipeline is the assembled VerifAI system.
+// Pipeline is the assembled VerifAI system. It is safe for concurrent use:
+// verification, retrieval, trust updates, and lake ingestion may all run at
+// the same time.
 type Pipeline struct {
 	lake      *datalake.Lake
 	indexer   *Indexer
 	rerankers *rerank.Registry
 	agent     *verify.Agent
 	prov      *provenance.Store
+	trustMu   sync.RWMutex
 	trust     map[string]float64
 	cfg       PipelineConfig
 }
@@ -72,7 +82,10 @@ func (p *Pipeline) Indexer() *Indexer { return p.indexer }
 // SourceTrust returns the trust assigned to a source (its lake prior, then
 // 0.5, when not explicitly set).
 func (p *Pipeline) SourceTrust(sourceID string) float64 {
-	if t, ok := p.trust[sourceID]; ok {
+	p.trustMu.RLock()
+	t, ok := p.trust[sourceID]
+	p.trustMu.RUnlock()
+	if ok {
 		return t
 	}
 	if s, ok := p.lake.Source(sourceID); ok {
@@ -83,6 +96,8 @@ func (p *Pipeline) SourceTrust(sourceID string) float64 {
 
 // SetSourceTrust overrides a source's trust (e.g. from trust.Estimate).
 func (p *Pipeline) SetSourceTrust(sourceID string, t float64) {
+	p.trustMu.Lock()
+	defer p.trustMu.Unlock()
 	p.trust[sourceID] = t
 }
 
@@ -127,6 +142,13 @@ func (p *Pipeline) Retrieve(g verify.Generated, k int, kinds ...datalake.Kind) (
 // claims, as in the paper's Section 4 setting); empty means all indexed
 // modalities.
 func (p *Pipeline) Verify(g verify.Generated, kinds ...datalake.Kind) (Report, error) {
+	return p.verifyWith(g, p.cfg.VerifyWorkers, kinds...)
+}
+
+// verifyWith is Verify with an explicit evidence-worker bound, so an outer
+// fan-out (VerifyBatch) can keep total concurrency at its own bound instead
+// of multiplying by cfg.VerifyWorkers.
+func (p *Pipeline) verifyWith(g verify.Generated, evidenceWorkers int, kinds ...datalake.Kind) (Report, error) {
 	query := g.Query()
 	hits, combined := p.indexer.Retrieve(query, p.cfg.TopK, kinds...)
 
@@ -166,15 +188,19 @@ func (p *Pipeline) Verify(g verify.Generated, kinds ...datalake.Kind) (Report, e
 		}
 	}
 
-	// Verify each evidence instance via the Agent.
+	// Verify each evidence instance via the Agent — concurrently when
+	// configured — then aggregate sequentially in rank order so the report
+	// (votes, provenance, float accumulation) is bit-identical to the
+	// sequential path.
+	results, err := p.verifyEvidence(g, ordered, evidenceWorkers)
+	if err != nil {
+		return Report{}, err
+	}
 	report := Report{Object: g, ProvenanceSeq: -1}
 	votes := make(map[string][]float64)
 	var decisions []provenance.VerifierDecision
 	for i, in := range ordered {
-		res, err := p.agent.Verify(g, in)
-		if err != nil {
-			return Report{}, err
-		}
+		res := results[i]
 		st := p.SourceTrust(in.SourceID)
 		ev := Evidence{Instance: in, Result: res, SourceTrust: st}
 		if p.cfg.UseReranker {
@@ -222,6 +248,38 @@ func (p *Pipeline) Verify(g verify.Generated, kinds ...datalake.Kind) (Report, e
 		})
 	}
 	return report, nil
+}
+
+// verifyEvidence runs the Agent over each evidence instance on a bounded
+// worker pool (workers <= 1 runs inline). Results preserve input order; the
+// first error wins.
+func (p *Pipeline) verifyEvidence(g verify.Generated, ordered []datalake.Instance, workers int) ([]verify.Result, error) {
+	results := make([]verify.Result, len(ordered))
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	tasks := make([]func(), len(ordered))
+	for i := range ordered {
+		i := i
+		tasks[i] = func() {
+			res, err := p.agent.Verify(g, ordered[i])
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			results[i] = res
+		}
+	}
+	runParallel(tasks, workers)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
 }
 
 // toRerankQuery converts a generated object into the reranker's query view.

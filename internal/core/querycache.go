@@ -1,0 +1,81 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/embed"
+)
+
+// queryCache is a bounded LRU of query text → embedding. Retrieval embeds
+// every query into the (seeded, deterministic) embedding space before
+// searching the vector shards; under heavy traffic the same queries recur,
+// so caching the embedding removes the tokenize+accumulate work from the
+// hot path. Vectors are shared between the cache and callers and must be
+// treated as immutable.
+type queryCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+// qcEntry is one cache slot.
+type qcEntry struct {
+	key string
+	vec embed.Vector
+}
+
+// newQueryCache returns an LRU of the given capacity, or nil (disabled)
+// for capacity <= 0.
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &queryCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached embedding for key, marking it most-recently used.
+func (c *queryCache) get(key string) (embed.Vector, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*qcEntry).vec, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts (or refreshes) key's embedding, evicting the least-recently
+// used entry past capacity.
+func (c *queryCache) put(key string, v embed.Vector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*qcEntry).vec = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&qcEntry{key: key, vec: v})
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*qcEntry).key)
+	}
+}
+
+// stats returns the hit/miss counters and current size.
+func (c *queryCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

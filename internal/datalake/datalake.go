@@ -10,6 +10,7 @@
 package datalake
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -20,6 +21,11 @@ import (
 	"repro/internal/kg"
 	"repro/internal/table"
 )
+
+// ErrDuplicate marks ingestion of an already-present ID; callers (e.g. the
+// HTTP layer) can detect it with errors.Is to distinguish client conflicts
+// from internal failures.
+var ErrDuplicate = errors.New("duplicate id")
 
 // Kind classifies a data instance.
 type Kind int
@@ -95,12 +101,46 @@ func (in Instance) Serialize() string {
 	}
 }
 
-// Lake is the multi-modal data lake catalog. Ingestion methods take an
-// exclusive lock; lookups take a shared lock, so a built lake can be queried
-// concurrently.
+// Event describes one committed lake mutation, delivered in version order
+// to change subscribers. Exactly one of Table, Doc, or Triple is populated
+// according to Kind (KindTable, KindText, or KindEntity respectively).
+type Event struct {
+	// Version is the lake version the mutation committed as.
+	Version uint64
+	// Kind classifies the mutation's modality.
+	Kind   Kind
+	Table  *table.Table
+	Doc    *doc.Document
+	Triple *kg.Triple
+}
+
+// ChangeHook observes committed mutations. Hooks run synchronously on the
+// ingesting goroutine, after the catalog lock is released (so they may query
+// the lake), and in version order. A hook error is returned to the ingest
+// caller; the catalog mutation itself stays committed — the error signals
+// that a downstream consumer (e.g. an incremental indexer) lagged, not that
+// the data was lost.
+type ChangeHook func(Event) error
+
+// Lake is the multi-modal data lake catalog. The lake is live: ingestion is
+// allowed at any time and is serialized by an exclusive lock, while lookups
+// take a shared lock, so the lake serves reads during writes. Every
+// mutation bumps a monotonic version and notifies registered change hooks.
 type Lake struct {
+	// writeMu serializes mutations end-to-end (catalog update + hook
+	// notification) so hooks observe events in version order. It is always
+	// acquired before mu.
+	writeMu sync.Mutex
+	hooks   []registeredHook
+	hookSeq int
+
 	mu      sync.RWMutex
-	tables  map[string]*table.Table
+	version uint64
+	// published trails version: it advances only after a mutation's hooks
+	// have run, so readers of Version() never observe a version whose
+	// incremental indexing is still in flight.
+	published uint64
+	tables    map[string]*table.Table
 	docs    map[string]*doc.Document
 	graph   *kg.Graph
 	sources map[string]Source
@@ -150,44 +190,167 @@ func (l *Lake) Sources() []Source {
 	return out
 }
 
-// AddTable ingests a table. The table's ID must be unique.
-func (l *Lake) AddTable(t *table.Table) error {
-	if t.ID == "" {
-		return fmt.Errorf("datalake: table with empty ID")
+// registeredHook pairs a hook with its registration handle so it can be
+// removed again.
+type registeredHook struct {
+	id int
+	h  ChangeHook
+}
+
+// OnChange registers a hook observing every subsequent mutation. Typically
+// called once at system assembly (before concurrent ingestion starts) to
+// wire incremental index maintenance. The returned function unsubscribes
+// the hook (idempotent); discard it for a process-lifetime subscription.
+func (l *Lake) OnChange(h ChangeHook) (unsubscribe func()) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	return l.subscribeLocked(h)
+}
+
+// OnChangeSync runs init and then registers h, all while holding the lake's
+// write lock: no mutation can commit between init's snapshot of the lake
+// and the hook registration. An incremental indexer uses this to close the
+// gap where a concurrent ingest would be neither bulk-indexed nor delivered
+// as an event. init may read the lake but must not mutate it (that would
+// deadlock); an init error aborts the registration.
+func (l *Lake) OnChangeSync(init func() error, h ChangeHook) (unsubscribe func(), err error) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	if init != nil {
+		if err := init(); err != nil {
+			return nil, err
+		}
+	}
+	return l.subscribeLocked(h), nil
+}
+
+// subscribeLocked appends the hook and builds its unsubscribe closure.
+// Caller holds writeMu.
+func (l *Lake) subscribeLocked(h ChangeHook) func() {
+	l.hookSeq++
+	id := l.hookSeq
+	l.hooks = append(l.hooks, registeredHook{id: id, h: h})
+	return func() {
+		l.writeMu.Lock()
+		defer l.writeMu.Unlock()
+		for i, rh := range l.hooks {
+			if rh.id == id {
+				l.hooks = append(l.hooks[:i], l.hooks[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Version returns the lake's monotonic mutation version (0 for an empty,
+// untouched lake). Each successful AddTable/AddDocument/AddTriple bumps it
+// by one, and the bump becomes visible here only after the mutation's
+// change hooks (incremental indexing) have completed — so once a reader
+// observes Version() >= V, every mutation up to V whose ingest call
+// returned nil is fully indexed. A mutation whose hook errored (its ingest
+// call returned the error) stays committed in the catalog but may be
+// absent from the indexes; its own version is never published, though
+// later successful mutations publish past it.
+func (l *Lake) Version() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.published
+}
+
+// notify runs the hooks for one committed event and then publishes its
+// version; a hook error leaves the version unpublished (the caller sees
+// the error instead). Caller holds writeMu (but not mu).
+func (l *Lake) notify(ev Event) error {
+	for _, rh := range l.hooks {
+		if err := rh.h(ev); err != nil {
+			return err
+		}
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.published = ev.Version
+	l.mu.Unlock()
+	return nil
+}
+
+// AddTable ingests a table. The table's ID must be unique. Safe to call at
+// any time, including while the lake serves queries.
+func (l *Lake) AddTable(t *table.Table) error {
+	_, err := l.AddTableVersioned(t)
+	return err
+}
+
+// AddTableVersioned is AddTable returning the lake version the mutation
+// committed as, for callers correlating ingests with the change feed.
+func (l *Lake) AddTableVersioned(t *table.Table) (uint64, error) {
+	if t.ID == "" {
+		return 0, fmt.Errorf("datalake: table with empty ID")
+	}
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.mu.Lock()
 	if _, dup := l.tables[t.ID]; dup {
-		return fmt.Errorf("datalake: duplicate table id %q", t.ID)
+		l.mu.Unlock()
+		return 0, fmt.Errorf("datalake: duplicate table id %q: %w", t.ID, ErrDuplicate)
 	}
 	l.tables[t.ID] = t
 	l.tableIDs = append(l.tableIDs, t.ID)
-	return nil
+	l.version++
+	ev := Event{Version: l.version, Kind: KindTable, Table: t}
+	l.mu.Unlock()
+	return ev.Version, l.notify(ev)
 }
 
 // AddDocument ingests a text document. The document's ID must be unique.
+// Safe to call at any time, including while the lake serves queries.
 func (l *Lake) AddDocument(d *doc.Document) error {
+	_, err := l.AddDocumentVersioned(d)
+	return err
+}
+
+// AddDocumentVersioned is AddDocument returning the lake version the
+// mutation committed as.
+func (l *Lake) AddDocumentVersioned(d *doc.Document) (uint64, error) {
 	if d.ID == "" {
-		return fmt.Errorf("datalake: document with empty ID")
+		return 0, fmt.Errorf("datalake: document with empty ID")
 	}
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if _, dup := l.docs[d.ID]; dup {
-		return fmt.Errorf("datalake: duplicate document id %q", d.ID)
+		l.mu.Unlock()
+		return 0, fmt.Errorf("datalake: duplicate document id %q: %w", d.ID, ErrDuplicate)
 	}
 	l.docs[d.ID] = d
 	l.docIDs = append(l.docIDs, d.ID)
-	return nil
+	l.version++
+	ev := Event{Version: l.version, Kind: KindText, Doc: d}
+	l.mu.Unlock()
+	return ev.Version, l.notify(ev)
 }
 
-// AddTriple ingests a knowledge-graph triple.
-func (l *Lake) AddTriple(t kg.Triple) {
+// AddTriple ingests a knowledge-graph triple. Safe to call at any time,
+// including while the lake serves queries. The returned error only ever
+// comes from a change hook (the graph itself accepts every triple).
+func (l *Lake) AddTriple(t kg.Triple) error {
+	_, err := l.AddTripleVersioned(t)
+	return err
+}
+
+// AddTripleVersioned is AddTriple returning the lake version the mutation
+// committed as.
+func (l *Lake) AddTripleVersioned(t kg.Triple) (uint64, error) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.graph.Add(t)
+	l.version++
+	ev := Event{Version: l.version, Kind: KindEntity, Triple: &t}
+	l.mu.Unlock()
+	return ev.Version, l.notify(ev)
 }
 
-// Graph returns the lake's knowledge graph (shared; query-only after build).
+// Graph returns the lake's knowledge graph (shared; internally synchronized,
+// so it can be queried while triples keep arriving).
 func (l *Lake) Graph() *kg.Graph {
 	l.mu.RLock()
 	defer l.mu.RUnlock()

@@ -97,8 +97,16 @@ func (ix *Index) Add(id, text string) error {
 	return nil
 }
 
-// Delete tombstones a document. Deleting an unknown or already-deleted id is
-// a no-op returning false.
+// compactThreshold is the minimum tombstone count before Delete compacts
+// the index. Deletion compacts once tombstones both exceed this floor and
+// outnumber live documents, so sustained churn (e.g. entity re-indexing
+// under live KG ingestion) keeps postings memory and scan cost within 2× of
+// the live set at amortized O(1) per deletion.
+const compactThreshold = 64
+
+// Delete tombstones a document, compacting the index once tombstones
+// dominate. Deleting an unknown or already-deleted id is a no-op returning
+// false.
 func (ix *Index) Delete(id string) bool {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -109,7 +117,44 @@ func (ix *Index) Delete(id string) bool {
 	ix.deleted[ord] = true
 	ix.totalLen -= int64(ix.lengths[ord])
 	ix.liveDocs--
+	if dead := len(ix.ids) - ix.liveDocs; dead > ix.liveDocs && dead >= compactThreshold {
+		ix.compactLocked()
+	}
 	return true
+}
+
+// compactLocked rebuilds the document arrays and posting lists without
+// tombstones, remapping ordinals. Caller holds the write lock.
+func (ix *Index) compactLocked() {
+	remap := make([]int32, len(ix.ids))
+	ids := make([]string, 0, ix.liveDocs)
+	lengths := make([]int32, 0, ix.liveDocs)
+	byID := make(map[string]int, ix.liveDocs)
+	for i, id := range ix.ids {
+		if ix.deleted[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = int32(len(ids))
+		byID[id] = len(ids)
+		ids = append(ids, id)
+		lengths = append(lengths, ix.lengths[i])
+	}
+	ix.ids, ix.lengths, ix.byID = ids, lengths, byID
+	ix.deleted = make([]bool, len(ids))
+	for term, plist := range ix.postings {
+		kept := plist[:0]
+		for _, p := range plist {
+			if no := remap[p.doc]; no >= 0 {
+				kept = append(kept, posting{doc: no, freq: p.freq})
+			}
+		}
+		if len(kept) == 0 {
+			delete(ix.postings, term)
+		} else {
+			ix.postings[term] = kept
+		}
+	}
 }
 
 // Len returns the number of live documents.

@@ -17,10 +17,19 @@ type Hit struct {
 // Search returns the top-k documents for query by BM25 score, ties broken by
 // ascending ID for determinism. k <= 0 returns nil.
 func (ix *Index) Search(query string, k int) []Hit {
+	return ix.SearchTerms(ix.analyze(query), k)
+}
+
+// Analyze runs the index's analysis chain over text, for callers that fan
+// one query out across many shards and want to tokenize it only once (pair
+// with SearchTerms).
+func (ix *Index) Analyze(text string) []string { return ix.analyze(text) }
+
+// SearchTerms is Search over pre-analyzed query terms.
+func (ix *Index) SearchTerms(terms []string, k int) []Hit {
 	if k <= 0 {
 		return nil
 	}
-	terms := ix.analyze(query)
 	if len(terms) == 0 {
 		return nil
 	}

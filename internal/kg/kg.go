@@ -7,6 +7,7 @@ package kg
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/textutil"
 )
@@ -21,9 +22,11 @@ type Triple struct {
 }
 
 // Graph is an in-memory triple store with exact-match indexes on folded
-// subject, predicate, and object. It is not safe for concurrent mutation;
-// build first, then query from any number of goroutines.
+// subject, predicate, and object. It is safe for concurrent use: writes
+// take an exclusive lock and queries a shared lock, so triples can keep
+// arriving while the graph serves lookups (the live-lake ingestion path).
 type Graph struct {
+	mu      sync.RWMutex
 	triples []Triple
 	bySubj  map[string][]int
 	byPred  map[string][]int
@@ -41,6 +44,8 @@ func NewGraph() *Graph {
 
 // Add inserts a triple.
 func (g *Graph) Add(t Triple) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	i := len(g.triples)
 	g.triples = append(g.triples, t)
 	g.bySubj[textutil.Fold(t.Subject)] = append(g.bySubj[textutil.Fold(t.Subject)], i)
@@ -49,13 +54,28 @@ func (g *Graph) Add(t Triple) {
 }
 
 // Len returns the number of triples.
-func (g *Graph) Len() int { return len(g.triples) }
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.triples)
+}
 
-// Triples returns all triples (shared slice; do not mutate).
-func (g *Graph) Triples() []Triple { return g.triples }
+// Triples returns a copy of all triples.
+func (g *Graph) Triples() []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]Triple(nil), g.triples...)
+}
 
 // About returns every triple whose subject folds equal to entity.
 func (g *Graph) About(entity string) []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.aboutLocked(entity)
+}
+
+// aboutLocked is About under a lock already held by the caller.
+func (g *Graph) aboutLocked(entity string) []Triple {
 	idx := g.bySubj[textutil.Fold(entity)]
 	out := make([]Triple, len(idx))
 	for i, j := range idx {
@@ -64,8 +84,24 @@ func (g *Graph) About(entity string) []Triple {
 	return out
 }
 
+// Canonical returns the stored first-seen subject casing for entity
+// (matched under folding), ok=false when the graph has no triples about it.
+// Consumers keying per-entity state (e.g. the indexer's entity instances)
+// use this so later triples with variant casing update the same entity.
+func (g *Graph) Canonical(entity string) (string, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	idx := g.bySubj[textutil.Fold(entity)]
+	if len(idx) == 0 {
+		return "", false
+	}
+	return g.triples[idx[0]].Subject, true
+}
+
 // Mentioning returns every triple where entity appears as subject or object.
 func (g *Graph) Mentioning(entity string) []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	f := textutil.Fold(entity)
 	seen := make(map[int]struct{})
 	var idx []int
@@ -91,6 +127,8 @@ func (g *Graph) Mentioning(entity string) []Triple {
 
 // Lookup returns the objects of triples matching (subject, predicate).
 func (g *Graph) Lookup(subject, predicate string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	fs, fp := textutil.Fold(subject), textutil.Fold(predicate)
 	var out []string
 	for _, j := range g.bySubj[fs] {
@@ -103,6 +141,8 @@ func (g *Graph) Lookup(subject, predicate string) []string {
 
 // Entities returns the sorted set of all subjects.
 func (g *Graph) Entities() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	seen := make(map[string]string, len(g.bySubj))
 	for _, t := range g.triples {
 		f := textutil.Fold(t.Subject)
@@ -122,7 +162,9 @@ func (g *Graph) Entities() []string {
 // content-based indexing ("subject predicate object. ..."), the KG analogue
 // of table serialization.
 func (g *Graph) SerializeEntity(entity string) string {
-	ts := g.About(entity)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ts := g.aboutLocked(entity)
 	if len(ts) == 0 {
 		return ""
 	}

@@ -141,7 +141,9 @@ func Load(dir string) (*datalake.Lake, error) {
 		}
 	}
 	for _, tr := range m.Triples {
-		lake.AddTriple(tr)
+		if err := lake.AddTriple(tr); err != nil {
+			return nil, err
+		}
 	}
 	return lake, nil
 }

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// getJSON fetches url and decodes the JSON body into out.
+func getJSON(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func lakeVersion(t *testing.T, baseURL string) uint64 {
+	t.Helper()
+	var body struct {
+		Version uint64 `json:"version"`
+	}
+	resp := getJSON(t, baseURL+"/v1/lake/version", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/lake/version status = %d", resp.StatusCode)
+	}
+	return body.Version
+}
+
+// TestIngestEndpoints checks the live-lake HTTP surface: all three ingest
+// endpoints commit, bump the version, and make the instance verifiable on
+// the very next request; duplicates return 409.
+func TestIngestEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	base := lakeVersion(t, ts.URL)
+
+	// Ingest a table and immediately verify a claim against it.
+	resp, body := postJSON(t, ts.URL+"/v1/ingest/table", IngestTableRequest{
+		ID:       "open1962",
+		Caption:  "1962 open championship",
+		Columns:  []string{"player", "prize"},
+		Rows:     [][]string{{"arnold palmer", "1400"}, {"kel nagle", "750"}},
+		SourceID: workload.CaseSource,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest table status = %d body = %s", resp.StatusCode, body)
+	}
+	var ack IngestResponse
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Status != "ingested" || ack.Version != base+1 {
+		t.Fatalf("ack = %+v, want ingested at version %d", ack, base+1)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/verify/claim", ClaimRequest{
+		ID:   "live",
+		Text: "In 1962 open championship, the prize for arnold palmer was 1400.",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify status = %d body = %s", resp.StatusCode, body)
+	}
+	var rep VerifyResponse
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != "Verified" {
+		t.Fatalf("verdict = %q against freshly ingested table, want Verified (body %s)", rep.Verdict, body)
+	}
+
+	// Duplicate table → 409.
+	resp, _ = postJSON(t, ts.URL+"/v1/ingest/table", IngestTableRequest{
+		ID: "open1962", Caption: "dup", Columns: []string{"a"},
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate ingest status = %d, want 409", resp.StatusCode)
+	}
+
+	// Document and triple endpoints.
+	resp, body = postJSON(t, ts.URL+"/v1/ingest/document", IngestDocumentRequest{
+		ID: "palmer-bio", Title: "Arnold Palmer",
+		Text: "Arnold Palmer won the 1962 open championship.", SourceID: workload.CaseSource,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest document status = %d body = %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/ingest/triple", IngestTripleRequest{
+		Subject: "arnold palmer", Predicate: "winner of", Object: "1962 open championship",
+		SourceID: workload.CaseSource,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest triple status = %d body = %s", resp.StatusCode, body)
+	}
+	if got := lakeVersion(t, ts.URL); got != base+3 {
+		t.Fatalf("lake version = %d, want %d", got, base+3)
+	}
+
+	// Validation errors.
+	for _, tc := range []struct {
+		path string
+		body interface{}
+	}{
+		{"/v1/ingest/table", IngestTableRequest{Caption: "no id", Columns: []string{"a"}}},
+		{"/v1/ingest/table", IngestTableRequest{ID: "bad-rows", Columns: []string{"a"}, Rows: [][]string{{"x", "y"}}}},
+		{"/v1/ingest/document", IngestDocumentRequest{ID: "no-text"}},
+		{"/v1/ingest/triple", IngestTripleRequest{Subject: "s"}},
+	} {
+		resp, _ := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s with %+v: status = %d, want 400", tc.path, tc.body, resp.StatusCode)
+		}
+	}
+}
+
+// TestIngestDuringQueries drives concurrent ingest and verification traffic
+// through the HTTP layer; under -race this proves the server serves reads
+// during writes.
+func TestIngestDuringQueries(t *testing.T) {
+	ts := newTestServer(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for q := 0; q < 3; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					resp, body := postJSON(t, ts.URL+"/v1/verify/claim", ClaimRequest{
+						ID:   "bg",
+						Text: "In 1954 u.s. open (golf), the money for tommy bolt was 570.",
+					})
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("verify during ingest: status %d body %s", resp.StatusCode, body)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 25; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/ingest/table", IngestTableRequest{
+			ID:      fmt.Sprintf("live%d", i),
+			Caption: fmt.Sprintf("live table %d", i),
+			Columns: []string{"k", "v"},
+			Rows:    [][]string{{fmt.Sprintf("key%d", i), fmt.Sprintf("value%d", i)}},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: status %d body %s", i, resp.StatusCode, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

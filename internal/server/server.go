@@ -1,18 +1,26 @@
 // Package server exposes a VerifAI pipeline as an HTTP JSON API, the
 // deployment surface a downstream user would put in front of the library:
 //
-//	POST /v1/verify/claim   {"id": "...", "text": "In <caption>, ...", "kinds": ["table","text"]}
-//	POST /v1/verify/tuple   {"id": "...", "caption": "...", "columns": [...], "values": [...], "attr": "..."}
-//	GET  /v1/stats          lake statistics
-//	GET  /v1/provenance?seq=N   one lineage record
-//	GET  /v1/healthz        liveness
+//	POST /v1/verify/claim     {"id": "...", "text": "In <caption>, ...", "kinds": ["table","text"]}
+//	POST /v1/verify/tuple     {"id": "...", "caption": "...", "columns": [...], "values": [...], "attr": "..."}
+//	POST /v1/ingest/table     {"id": "...", "caption": "...", "columns": [...], "rows": [[...]], "source_id": "..."}
+//	POST /v1/ingest/document  {"id": "...", "title": "...", "text": "...", "source_id": "..."}
+//	POST /v1/ingest/triple    {"subject": "...", "predicate": "...", "object": "...", "source_id": "..."}
+//	GET  /v1/lake/version     current monotonic lake version
+//	GET  /v1/stats            lake statistics
+//	GET  /v1/provenance?seq=N one lineage record
+//	GET  /v1/healthz          liveness
 //
-// Responses are flat JSON documents (no internal types leak); errors use
-// RFC-7807-ish {"error": "..."} bodies with conventional status codes.
+// The lake behind the pipeline is live: the ingest endpoints index new
+// instances incrementally, so the server keeps serving verification reads
+// during writes. Responses are flat JSON documents (no internal types
+// leak); errors use RFC-7807-ish {"error": "..."} bodies with conventional
+// status codes (409 for duplicate ingest IDs).
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -20,6 +28,8 @@ import (
 	"repro/internal/claims"
 	"repro/internal/core"
 	"repro/internal/datalake"
+	"repro/internal/doc"
+	"repro/internal/kg"
 	"repro/internal/table"
 	"repro/internal/verify"
 )
@@ -35,6 +45,10 @@ func New(p *core.Pipeline) *Server {
 	s := &Server{pipeline: p, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/v1/verify/claim", s.handleVerifyClaim)
 	s.mux.HandleFunc("/v1/verify/tuple", s.handleVerifyTuple)
+	s.mux.HandleFunc("/v1/ingest/table", s.handleIngestTable)
+	s.mux.HandleFunc("/v1/ingest/document", s.handleIngestDocument)
+	s.mux.HandleFunc("/v1/ingest/triple", s.handleIngestTriple)
+	s.mux.HandleFunc("/v1/lake/version", s.handleLakeVersion)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/provenance", s.handleProvenance)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -91,6 +105,40 @@ type VerifyResponse struct {
 	Confidence    float64            `json:"confidence"`
 	Evidence      []EvidenceResponse `json:"evidence"`
 	ProvenanceSeq int                `json:"provenance_seq"`
+}
+
+// IngestTableRequest is the body of POST /v1/ingest/table.
+type IngestTableRequest struct {
+	ID       string     `json:"id"`
+	Caption  string     `json:"caption"`
+	Columns  []string   `json:"columns"`
+	Rows     [][]string `json:"rows"`
+	SourceID string     `json:"source_id"`
+}
+
+// IngestDocumentRequest is the body of POST /v1/ingest/document.
+type IngestDocumentRequest struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	Text     string `json:"text"`
+	SourceID string `json:"source_id"`
+}
+
+// IngestTripleRequest is the body of POST /v1/ingest/triple.
+type IngestTripleRequest struct {
+	Subject   string `json:"subject"`
+	Predicate string `json:"predicate"`
+	Object    string `json:"object"`
+	SourceID  string `json:"source_id"`
+}
+
+// IngestResponse acknowledges one accepted ingestion.
+type IngestResponse struct {
+	// Status is always "ingested" on success.
+	Status string `json:"status"`
+	// Version is the lake version the mutation committed as; once a reader
+	// observes GET /v1/lake/version >= Version, the instance is indexed.
+	Version uint64 `json:"version"`
 }
 
 // --- handlers ---
@@ -167,6 +215,102 @@ func (s *Server) handleVerifyTuple(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, toResponse(req.ID, report))
+}
+
+func (s *Server) handleIngestTable(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req IngestTableRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, "id is required")
+		return
+	}
+	if len(req.Columns) == 0 {
+		writeError(w, http.StatusBadRequest, "columns must be non-empty")
+		return
+	}
+	t := table.New(req.ID, req.Caption, req.Columns)
+	t.SourceID = req.SourceID
+	for i, row := range req.Rows {
+		if err := t.AppendRow(row); err != nil {
+			writeError(w, http.StatusBadRequest, "row %d: %v", i, err)
+			return
+		}
+	}
+	version, err := s.pipeline.Lake().AddTableVersioned(t)
+	s.ingest(w, version, err)
+}
+
+func (s *Server) handleIngestDocument(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req IngestDocumentRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, "id is required")
+		return
+	}
+	if req.Text == "" {
+		writeError(w, http.StatusBadRequest, "text is required")
+		return
+	}
+	d := &doc.Document{ID: req.ID, Title: req.Title, Text: req.Text, SourceID: req.SourceID}
+	version, err := s.pipeline.Lake().AddDocumentVersioned(d)
+	s.ingest(w, version, err)
+}
+
+func (s *Server) handleIngestTriple(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req IngestTripleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	if req.Subject == "" || req.Predicate == "" || req.Object == "" {
+		writeError(w, http.StatusBadRequest, "subject, predicate, and object are required")
+		return
+	}
+	tr := kg.Triple{Subject: req.Subject, Predicate: req.Predicate, Object: req.Object, SourceID: req.SourceID}
+	version, err := s.pipeline.Lake().AddTripleVersioned(tr)
+	s.ingest(w, version, err)
+}
+
+// ingest finishes an ingest request: the mutation already ran, version/err
+// are its outcome. Incremental indexing runs synchronously inside the
+// lake's change notification, so a 200 response means the instance is
+// already retrievable.
+func (s *Server) ingest(w http.ResponseWriter, version uint64, err error) {
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, datalake.ErrDuplicate) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "ingest: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Status: "ingested", Version: version})
+}
+
+func (s *Server) handleLakeVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"version": s.pipeline.Lake().Version()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,12 @@ import (
 // nprobe cells whose centroids are closest to the query. Until Train is
 // called, Search falls back to an exact scan, mirroring Faiss's requirement
 // that IVF indexes be trained before efficient search.
+//
+// The index is safe for concurrent Add, Remove, Train, and Search. Vectors
+// added after Train are assigned to their nearest trained cell, and removal
+// tombstones the vector (skipped at probe time) so online ingestion never
+// forces a retrain; retraining remains available to rebalance cells after
+// heavy churn.
 type IVF struct {
 	mu     sync.RWMutex
 	metric Metric
@@ -21,9 +27,7 @@ type IVF struct {
 	nprobe int
 	seed   uint64
 
-	ids  []string
-	vecs []embed.Vector
-	byID map[string]int
+	store
 
 	trained   bool
 	centroids []embed.Vector
@@ -38,25 +42,23 @@ func NewIVF(dim int, metric Metric, nlist, nprobe int, seed uint64) *IVF {
 	}
 	return &IVF{
 		metric: metric, dim: dim, nlist: nlist, nprobe: nprobe, seed: seed,
-		byID: make(map[string]int),
+		store: newStore(),
 	}
 }
 
 // Add stages v under id. Adding after Train is allowed: the vector is
-// assigned to its nearest existing cell.
+// assigned to its nearest existing cell. Duplicate live IDs are errors; a
+// removed id may be added again.
 func (ix *IVF) Add(id string, v embed.Vector) error {
 	if len(v) != ix.dim {
 		return fmt.Errorf("vecindex: vector dim %d != index dim %d", len(v), ix.dim)
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if _, dup := ix.byID[id]; dup {
-		return fmt.Errorf("vecindex: duplicate id %q", id)
+	ord, err := ix.addLocked(id, v)
+	if err != nil {
+		return err
 	}
-	ord := len(ix.ids)
-	ix.byID[id] = ord
-	ix.ids = append(ix.ids, id)
-	ix.vecs = append(ix.vecs, embed.Clone(v))
 	if ix.trained {
 		ci := ix.nearestCell(v)
 		ix.cells[ci] = append(ix.cells[ci], ord)
@@ -64,20 +66,54 @@ func (ix *IVF) Add(id string, v embed.Vector) error {
 	return nil
 }
 
-// Train partitions the staged vectors into nlist cells. It must be called
+// Remove tombstones id's vector. Removing an unknown or already-removed id
+// is a no-op returning false. The ordinal stays in its cell and is skipped
+// at probe time until tombstones dominate, at which point the index
+// compacts (cell lists are remapped in place; centroids are untouched, so
+// no retrain is needed).
+func (ix *IVF) Remove(id string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	removed, compactDue := ix.removeLocked(id)
+	if compactDue {
+		remap := ix.compactLocked()
+		for ci, cell := range ix.cells {
+			kept := cell[:0]
+			for _, ord := range cell {
+				if no := remap[ord]; no >= 0 {
+					kept = append(kept, no)
+				}
+			}
+			ix.cells[ci] = kept
+		}
+	}
+	return removed
+}
+
+// Train partitions the live vectors into nlist cells. It must be called
 // after the bulk of Adds for efficient search; calling it again re-trains
-// from scratch over all vectors.
+// from scratch over all live vectors (rebalancing cells skewed by
+// post-train Adds and dropping tombstones from the cell lists).
 func (ix *IVF) Train() {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if len(ix.vecs) == 0 {
+	if ix.live == 0 {
 		return
 	}
-	centroids, assign := kmeans(ix.vecs, ix.nlist, ix.seed, 25)
+	liveVecs := make([]embed.Vector, 0, ix.live)
+	liveOrds := make([]int, 0, ix.live)
+	for ord, v := range ix.vecs {
+		if ix.deleted[ord] {
+			continue
+		}
+		liveVecs = append(liveVecs, v)
+		liveOrds = append(liveOrds, ord)
+	}
+	centroids, assign := kmeans(liveVecs, ix.nlist, ix.seed, 25)
 	ix.centroids = centroids
 	ix.cells = make([][]int, len(centroids))
-	for ord, ci := range assign {
-		ix.cells[ci] = append(ix.cells[ci], ord)
+	for i, ci := range assign {
+		ix.cells[ci] = append(ix.cells[ci], liveOrds[i])
 	}
 	ix.trained = true
 }
@@ -89,11 +125,11 @@ func (ix *IVF) Trained() bool {
 	return ix.trained
 }
 
-// Len returns the number of indexed vectors.
+// Len returns the number of live indexed vectors.
 func (ix *IVF) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.ids)
+	return ix.live
 }
 
 // nearestCell returns the centroid index closest to v (L2). Caller holds a
@@ -118,6 +154,9 @@ func (ix *IVF) Search(q embed.Vector, k int) []Hit {
 	h := newTopK(k)
 	if !ix.trained {
 		for i, v := range ix.vecs {
+			if ix.deleted[i] {
+				continue
+			}
 			h.offer(ix.ids[i], score(ix.metric, q, v))
 		}
 		return h.results()
@@ -143,6 +182,9 @@ func (ix *IVF) Search(q embed.Vector, k int) []Hit {
 	}
 	for _, cd := range dists[:probe] {
 		for _, ord := range ix.cells[cd.ci] {
+			if ix.deleted[ord] {
+				continue
+			}
 			h.offer(ix.ids[ord], score(ix.metric, q, ix.vecs[ord]))
 		}
 	}

@@ -12,6 +12,10 @@ import (
 // similarity (Charikar's SimHash family, as in Faiss IndexLSH). Vectors are
 // hashed into ntables independent signature tables of nbits bits each;
 // Search unions the query's buckets and ranks candidates exactly.
+//
+// The index is safe for concurrent Add, Remove, and Search; removal
+// tombstones the vector (its bucket entries are skipped at search time) and
+// the id may be re-added afterwards.
 type LSH struct {
 	mu      sync.RWMutex
 	dim     int
@@ -20,9 +24,7 @@ type LSH struct {
 
 	planes [][]embed.Vector // table -> bit -> hyperplane normal
 	tables []map[uint64][]int
-	ids    []string
-	vecs   []embed.Vector
-	byID   map[string]int
+	store
 }
 
 // NewLSH returns an LSH index with ntables hash tables of nbits each.
@@ -35,7 +37,7 @@ func NewLSH(dim, nbits, ntables int, seed uint64) *LSH {
 		dim: dim, nbits: nbits, ntables: ntables,
 		planes: make([][]embed.Vector, ntables),
 		tables: make([]map[uint64][]int, ntables),
-		byID:   make(map[string]int),
+		store:  newStore(),
 	}
 	for t := 0; t < ntables; t++ {
 		ix.tables[t] = make(map[uint64][]int)
@@ -63,20 +65,18 @@ func (ix *LSH) signature(t int, v embed.Vector) uint64 {
 	return sig
 }
 
-// Add indexes v under id.
+// Add indexes v under id. Duplicate live IDs are errors; a removed id may
+// be added again.
 func (ix *LSH) Add(id string, v embed.Vector) error {
 	if len(v) != ix.dim {
 		return fmt.Errorf("vecindex: vector dim %d != index dim %d", len(v), ix.dim)
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if _, dup := ix.byID[id]; dup {
-		return fmt.Errorf("vecindex: duplicate id %q", id)
+	ord, err := ix.addLocked(id, v)
+	if err != nil {
+		return err
 	}
-	ord := len(ix.ids)
-	ix.byID[id] = ord
-	ix.ids = append(ix.ids, id)
-	ix.vecs = append(ix.vecs, embed.Clone(v))
 	for t := 0; t < ix.ntables; t++ {
 		sig := ix.signature(t, v)
 		ix.tables[t][sig] = append(ix.tables[t][sig], ord)
@@ -84,11 +84,40 @@ func (ix *LSH) Add(id string, v embed.Vector) error {
 	return nil
 }
 
-// Len returns the number of indexed vectors.
+// Remove tombstones id's vector. Removing an unknown or already-removed id
+// is a no-op returning false. Bucket entries stay in place and are skipped
+// at search time until tombstones dominate, at which point the index
+// compacts (bucket ordinals are remapped; no re-hashing is needed).
+func (ix *LSH) Remove(id string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	removed, compactDue := ix.removeLocked(id)
+	if compactDue {
+		remap := ix.compactLocked()
+		for t := range ix.tables {
+			for sig, bucket := range ix.tables[t] {
+				kept := bucket[:0]
+				for _, ord := range bucket {
+					if no := remap[ord]; no >= 0 {
+						kept = append(kept, no)
+					}
+				}
+				if len(kept) == 0 {
+					delete(ix.tables[t], sig)
+				} else {
+					ix.tables[t][sig] = kept
+				}
+			}
+		}
+	}
+	return removed
+}
+
+// Len returns the number of live indexed vectors.
 func (ix *LSH) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.ids)
+	return ix.live
 }
 
 // Search implements Searcher: union the query's buckets across tables, then
@@ -108,6 +137,9 @@ func (ix *LSH) Search(q embed.Vector, k int) []Hit {
 				continue
 			}
 			seen[ord] = struct{}{}
+			if ix.deleted[ord] {
+				continue
+			}
 			h.offer(ix.ids[ord], embed.Cosine(q, ix.vecs[ord]))
 		}
 	}

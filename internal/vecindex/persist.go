@@ -17,18 +17,23 @@ type flatSnapshot struct {
 	Vecs   [][]float32
 }
 
-// Save writes the index to w using encoding/gob.
+// Save writes the index to w using encoding/gob. Tombstoned (removed)
+// vectors are compacted away, so a load round-trip yields only live entries.
 func (f *Flat) Save(w io.Writer) error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	snap := flatSnapshot{
 		Metric: int(f.metric),
 		Dim:    f.dim,
-		IDs:    f.ids,
-		Vecs:   make([][]float32, len(f.vecs)),
+		IDs:    make([]string, 0, f.live),
+		Vecs:   make([][]float32, 0, f.live),
 	}
 	for i, v := range f.vecs {
-		snap.Vecs[i] = v
+		if f.deleted[i] {
+			continue
+		}
+		snap.IDs = append(snap.IDs, f.ids[i])
+		snap.Vecs = append(snap.Vecs, v)
 	}
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("vecindex: encode snapshot: %w", err)

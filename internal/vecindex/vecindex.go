@@ -57,6 +57,77 @@ type Searcher interface {
 	Len() int
 }
 
+// compactThreshold is the minimum tombstone count before an index compacts
+// itself. Removal compacts once tombstones both exceed this floor and
+// outnumber live entries, so sustained churn (e.g. entity re-indexing under
+// live KG ingestion) keeps memory and scan cost within 2× of the live set
+// at amortized O(1) per removal.
+const compactThreshold = 64
+
+// store is the id/vector bookkeeping shared by all index types: append-only
+// arrays with tombstoned removal and threshold-triggered compaction. The
+// embedding index owns the lock; every method here assumes it is held.
+type store struct {
+	ids     []string
+	vecs    []embed.Vector
+	deleted []bool
+	live    int
+	byID    map[string]int
+}
+
+func newStore() store { return store{byID: make(map[string]int)} }
+
+// addLocked appends v (copied) under id and returns its ordinal. Duplicate
+// live IDs are errors; a removed id may be added again under a new ordinal.
+func (s *store) addLocked(id string, v embed.Vector) (int, error) {
+	if ord, dup := s.byID[id]; dup && !s.deleted[ord] {
+		return 0, fmt.Errorf("vecindex: duplicate id %q", id)
+	}
+	ord := len(s.ids)
+	s.byID[id] = ord
+	s.ids = append(s.ids, id)
+	s.vecs = append(s.vecs, embed.Clone(v))
+	s.deleted = append(s.deleted, false)
+	s.live++
+	return ord, nil
+}
+
+// removeLocked tombstones id, reporting whether it was live and whether the
+// tombstone count now warrants compaction.
+func (s *store) removeLocked(id string) (removed, compactDue bool) {
+	ord, ok := s.byID[id]
+	if !ok || s.deleted[ord] {
+		return false, false
+	}
+	s.deleted[ord] = true
+	s.live--
+	dead := len(s.ids) - s.live
+	return true, dead > s.live && dead >= compactThreshold
+}
+
+// compactLocked rebuilds the arrays without tombstones and returns the
+// old→new ordinal remapping (-1 for dropped entries) so the embedding index
+// can fix its ordinal references (IVF cells, LSH buckets).
+func (s *store) compactLocked() []int {
+	remap := make([]int, len(s.ids))
+	ids := make([]string, 0, s.live)
+	vecs := make([]embed.Vector, 0, s.live)
+	byID := make(map[string]int, s.live)
+	for i, id := range s.ids {
+		if s.deleted[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(ids)
+		byID[id] = len(ids)
+		ids = append(ids, id)
+		vecs = append(vecs, s.vecs[i])
+	}
+	s.ids, s.vecs, s.byID = ids, vecs, byID
+	s.deleted = make([]bool, len(ids))
+	return remap
+}
+
 // score computes the metric-oriented score of q against v.
 func score(m Metric, q, v embed.Vector) float64 {
 	switch m {
@@ -72,14 +143,14 @@ func score(m Metric, q, v embed.Vector) float64 {
 }
 
 // Flat is an exact (brute-force) index, the ground-truth baseline the ANN
-// indexes are measured against.
+// indexes are measured against. It is safe for concurrent Add, Remove, and
+// Search; removal tombstones the vector (skipped by searches) and the id
+// may be re-added afterwards, matching the live-lake ingest pattern.
 type Flat struct {
 	mu     sync.RWMutex
 	metric Metric
 	dim    int
-	ids    []string
-	vecs   []embed.Vector
-	byID   map[string]int
+	store
 }
 
 // NewFlat returns an empty exact index of dimension dim.
@@ -87,31 +158,39 @@ func NewFlat(dim int, metric Metric) *Flat {
 	if dim <= 0 {
 		panic("vecindex: non-positive dimension")
 	}
-	return &Flat{metric: metric, dim: dim, byID: make(map[string]int)}
+	return &Flat{metric: metric, dim: dim, store: newStore()}
 }
 
-// Add indexes v under id. The vector is copied. Duplicate IDs and dimension
-// mismatches are errors.
+// Add indexes v under id. The vector is copied. Duplicate live IDs and
+// dimension mismatches are errors; a removed id may be added again.
 func (f *Flat) Add(id string, v embed.Vector) error {
 	if len(v) != f.dim {
 		return fmt.Errorf("vecindex: vector dim %d != index dim %d", len(v), f.dim)
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if _, dup := f.byID[id]; dup {
-		return fmt.Errorf("vecindex: duplicate id %q", id)
-	}
-	f.byID[id] = len(f.ids)
-	f.ids = append(f.ids, id)
-	f.vecs = append(f.vecs, embed.Clone(v))
-	return nil
+	_, err := f.addLocked(id, v)
+	return err
 }
 
-// Len returns the number of indexed vectors.
+// Remove tombstones id's vector, compacting the index once tombstones
+// dominate. Removing an unknown or already-removed id is a no-op returning
+// false.
+func (f *Flat) Remove(id string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	removed, compactDue := f.removeLocked(id)
+	if compactDue {
+		f.compactLocked()
+	}
+	return removed
+}
+
+// Len returns the number of live indexed vectors.
 func (f *Flat) Len() int {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	return len(f.ids)
+	return f.live
 }
 
 // Search implements Searcher with an exact scan.
@@ -123,6 +202,9 @@ func (f *Flat) Search(q embed.Vector, k int) []Hit {
 	defer f.mu.RUnlock()
 	h := newTopK(k)
 	for i, v := range f.vecs {
+		if f.deleted[i] {
+			continue
+		}
 		h.offer(f.ids[i], score(f.metric, q, v))
 	}
 	return h.results()

@@ -201,7 +201,9 @@ func GenerateLake(cfg Config) (*Corpus, error) {
 		d := corpus.domainOf(t)
 		for row := range t.Rows {
 			for _, tr := range kg.FromTuple(t.Caption, t.Columns, t.Rows[row], d.keyCol, SourceKG) {
-				lake.AddTriple(tr)
+				if err := lake.AddTriple(tr); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

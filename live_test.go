@@ -1,0 +1,103 @@
+package verifai
+
+import (
+	"testing"
+)
+
+// TestLiveIngestEndToEnd checks the public live-lake API: instances
+// ingested through System.AddTable/AddDocument/AddTriple after NewSystem
+// are retrievable and verifiable without rebuilding, and each ingestion
+// bumps the lake version.
+func TestLiveIngestEndToEnd(t *testing.T) {
+	lake := caseLake(t)
+	sys, err := NewSystem(lake, noiseFreeOptions(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sys.LakeVersion()
+
+	// A claim about a table that does not exist yet.
+	claimText := "In 1962 open championship, the prize for arnold palmer was 1400."
+	report, err := sys.VerifyClaimText("pre-ingest", claimText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict == Verified {
+		t.Fatalf("claim verified before its evidence exists (verdict %v)", report.Verdict)
+	}
+
+	tbl := NewTable("open1962", "1962 open championship", []string{"player", "prize"})
+	tbl.SourceID = "cases"
+	tbl.MustAppendRow("arnold palmer", "1400")
+	tbl.MustAppendRow("kel nagle", "750")
+	if err := sys.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.LakeVersion(); got != base+1 {
+		t.Fatalf("lake version = %d after AddTable, want %d", got, base+1)
+	}
+
+	report, err = sys.VerifyClaimText("post-ingest", claimText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != Verified {
+		t.Fatalf("verdict = %v after ingesting evidence, want Verified", report.Verdict)
+	}
+	found := false
+	for _, ev := range report.Evidence {
+		if ev.Instance.ID == "table:open1962" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ingested table missing from evidence: %+v", report.Evidence)
+	}
+
+	// Documents and triples flow through the same live path.
+	if err := sys.AddDocument(&Document{
+		ID: "palmer-bio", Title: "Arnold Palmer", SourceID: "cases",
+		Text: "Arnold Palmer won the 1962 open championship with a prize of 1400.",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddTriple(Triple{
+		Subject: "arnold palmer", Predicate: "prize of 1962 open championship",
+		Object: "1400", SourceID: "cases",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.LakeVersion(); got != base+3 {
+		t.Fatalf("lake version = %d, want %d", got, base+3)
+	}
+	ids := sys.Retrieve(NewClaimObject("q", mustParse(t, claimText)), 10, KindText, KindEntity)
+	var haveDoc, haveEntity bool
+	for _, id := range ids {
+		switch id {
+		case "text:palmer-bio":
+			haveDoc = true
+		case "entity:arnold palmer":
+			haveEntity = true
+		}
+	}
+	if !haveDoc || !haveEntity {
+		t.Fatalf("live document/entity not retrieved (doc=%v entity=%v): %v", haveDoc, haveEntity, ids)
+	}
+
+	// Duplicate ingestion is rejected without disturbing the version.
+	if err := sys.AddTable(tbl); err == nil {
+		t.Fatal("duplicate AddTable succeeded, want error")
+	}
+	if got := sys.LakeVersion(); got != base+3 {
+		t.Fatalf("lake version = %d after rejected duplicate, want %d", got, base+3)
+	}
+}
+
+func mustParse(t *testing.T, text string) Claim {
+	t.Helper()
+	c, err := ParseClaim(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
