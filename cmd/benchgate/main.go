@@ -1,0 +1,108 @@
+// Command benchgate compares a `go test -bench` run against a committed
+// baseline and exits non-zero when any gated metric regressed beyond the
+// threshold — the CI benchmark-regression gate:
+//
+//	go run ./cmd/benchgate -baseline bench_baseline.txt -current bench.txt
+//
+// Gated metrics are p50 latency (p50-ns; grows = regression) and
+// throughput (any */sec unit; shrinks = regression). Raw ns/op, tail
+// latency, allocation counters, and quality metrics (recall, accuracy)
+// are recorded in the artifacts but not gated — they are too noisy or not
+// performance. Benchmarks present on only one side are skipped, so the
+// gate tolerates adding or retiring benchmarks. Refresh the baseline with
+// the command printed in bench_baseline.txt after an intentional change.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	baselinePath := flag.String("baseline", "bench_baseline.txt", "committed baseline bench output")
+	currentPath := flag.String("current", "bench.txt", "freshly measured bench output")
+	threshold := flag.Float64("threshold", 0.25, "fractional regression that fails the gate")
+	filter := flag.String("filter", "", "regexp limiting which benchmarks are gated (default: all)")
+	pipelineFloor := flag.Float64("pipeline-floor", 0,
+		"if > 0, require pipelined ingest docs/sec >= floor * serialized docs/sec within the current run (machine-independent; 0 disables)")
+	flag.Parse()
+
+	baseline := parse(*baselinePath)
+	current := parse(*currentPath)
+
+	// The absolute comparison below is only meaningful against a baseline
+	// from comparable hardware; this relative check holds on any machine:
+	// the pipelined write path must never cost throughput vs the serialized
+	// emulation measured in the same run.
+	failed := false
+	if *pipelineFloor > 0 {
+		for _, writers := range []string{"1", "4", "16"} {
+			num := "BenchmarkIngestThroughput/pipelined/writers=" + writers
+			den := "BenchmarkIngestThroughput/serialized/writers=" + writers
+			ratio, ok := metrics.RatioCheck(current, "docs/sec", num, den)
+			if !ok {
+				continue
+			}
+			if ratio < *pipelineFloor {
+				fmt.Printf("REGRESSION: pipelined/serialized docs/sec at %s writer(s) = %.2f, floor %.2f\n",
+					writers, ratio, *pipelineFloor)
+				failed = true
+			} else {
+				fmt.Printf("benchgate: pipelined/serialized docs/sec at %s writer(s) = %.2f (floor %.2f)\n",
+					writers, ratio, *pipelineFloor)
+			}
+		}
+	}
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			log.Fatalf("bad -filter: %v", err)
+		}
+		baseline = keep(baseline, re)
+		current = keep(current, re)
+	}
+	if len(current) == 0 {
+		log.Fatalf("no benchmark results in %s", *currentPath)
+	}
+
+	regressions := metrics.CompareBench(baseline, current, *threshold)
+	fmt.Printf("benchgate: compared %d benchmark(s) at threshold %.0f%%\n", len(current), 100**threshold)
+	for _, r := range regressions {
+		fmt.Printf("REGRESSION: %s\n", r)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: no regressions")
+}
+
+func parse(path string) []metrics.BenchSample {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	samples, err := metrics.ParseBench(f)
+	if err != nil {
+		log.Fatalf("parse %s: %v", path, err)
+	}
+	return samples
+}
+
+func keep(samples []metrics.BenchSample, re *regexp.Regexp) []metrics.BenchSample {
+	out := samples[:0]
+	for _, s := range samples {
+		if re.MatchString(s.Name) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

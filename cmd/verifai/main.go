@@ -11,10 +11,14 @@
 //	    verify (or re-verify with an overridden value) one tuple attribute
 //	verifai demo
 //	    run the paper's Figure 1 and Figure 4 cases on the built-in case lake
-//	verifai serve -lake DIR -addr :8080 [-shards N]
+//	verifai serve -lake DIR -addr :8080 [-shards N] [-ingest-queue N]
 //	    serve the verification pipeline as an HTTP JSON API over the live
 //	    lake (reads keep being served while /v1/ingest/* writes arrive);
-//	    -shards enables the sharded parallel retrieval layout
+//	    ingestion is pipelined — embedding runs outside the lake's write
+//	    lock and POST /v1/ingest/batch commits mixed batches under one
+//	    lock acquisition; -shards enables the sharded parallel
+//	    retrieval/applier layout, -ingest-queue bounds the in-flight
+//	    ingest event queue
 //
 // The lake directory is produced by cmd/lakegen (or any tool writing the
 // lakeio layout). Add -exact=false to enable the calibrated error profiles
@@ -75,11 +79,15 @@ func commonFlags(fs *flag.FlagSet) (lakeDir *string, seed *uint64, exact *bool) 
 	return
 }
 
-func buildSystem(lakeDir string, seed uint64, exact bool, shards int) (*verifai.System, *verifai.Lake, error) {
+func buildSystem(lakeDir string, seed uint64, exact bool, shards, ingestQueue int) (*verifai.System, *verifai.Lake, error) {
 	if lakeDir == "" {
 		return nil, nil, fmt.Errorf("-lake is required")
 	}
-	lake, err := lakeio.Load(lakeDir)
+	var lakeOpts []verifai.LakeOption
+	if ingestQueue > 0 {
+		lakeOpts = append(lakeOpts, verifai.WithIngestQueue(ingestQueue))
+	}
+	lake, err := lakeio.Load(lakeDir, lakeOpts...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -131,7 +139,7 @@ func runClaim(args []string) error {
 	if *text == "" {
 		return fmt.Errorf("-text is required")
 	}
-	sys, _, err := buildSystem(*lakeDir, *seed, *exact, 0)
+	sys, _, err := buildSystem(*lakeDir, *seed, *exact, 0, 0)
 	if err != nil {
 		return err
 	}
@@ -197,7 +205,7 @@ func runTuple(args []string) error {
 	if *tableID == "" || *attr == "" {
 		return fmt.Errorf("-table and -attr are required")
 	}
-	sys, lake, err := buildSystem(*lakeDir, *seed, *exact, 0)
+	sys, lake, err := buildSystem(*lakeDir, *seed, *exact, 0, 0)
 	if err != nil {
 		return err
 	}
@@ -280,10 +288,11 @@ func runServe(args []string) error {
 	lakeDir, seed, exact := commonFlags(fs)
 	addr := fs.String("addr", ":8080", "listen address")
 	shards := fs.Int("shards", 0, "index shards per kind and family (0 = unsharded)")
+	ingestQueue := fs.Int("ingest-queue", 0, "bound on the in-flight ingest event queue (0 = default 256)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sys, lake, err := buildSystem(*lakeDir, *seed, *exact, *shards)
+	sys, lake, err := buildSystem(*lakeDir, *seed, *exact, *shards, *ingestQueue)
 	if err != nil {
 		return err
 	}

@@ -128,6 +128,13 @@ type Indexer struct {
 	qcache      *queryCache
 	workers     int
 	unsubscribe func()
+
+	// appliers are the per-shard applier goroutines' task queues; shard
+	// ordinal s (across every kind and index family) is applied only by
+	// appliers[s], fed in lake-version order by the lake's dispatcher.
+	appliers  []chan applyTask
+	applierWG sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // BuildIndexer indexes the lake's current instances per cfg and subscribes
@@ -176,11 +183,14 @@ func BuildIndexer(lake *datalake.Lake, cfg IndexerConfig) (*Indexer, error) {
 			ix.vec[kind] = shards
 		}
 	}
+	ix.startAppliers()
 	// Bulk-index the current lake contents and subscribe to the change feed
-	// atomically: OnChangeSync holds the lake's write lock across both, so a
-	// concurrent ingest can never land between the snapshot walk and the
-	// subscription (it would be neither bulk-indexed nor delivered).
-	unsubscribe, err := lake.OnChangeSync(func() error {
+	// atomically: SubscribeSync quiesces the lake (write lock held, event
+	// queue drained) across both, so a concurrent ingest can never land
+	// between the snapshot walk and the subscription (it would be neither
+	// bulk-indexed nor delivered). Live events then flow through the
+	// pipelined prepare/apply stages (see applier.go).
+	unsubscribe, err := lake.SubscribeSync(func() error {
 		if err := ix.ingest(); err != nil {
 			return err
 		}
@@ -196,22 +206,38 @@ func BuildIndexer(lake *datalake.Lake, cfg IndexerConfig) (*Indexer, error) {
 			}
 		}
 		return nil
-	}, ix.apply)
+	}, datalake.Subscriber{Prepare: ix.prepareHook, Apply: ix.apply})
 	if err != nil {
+		ix.stopAppliers()
 		return nil, err
 	}
 	ix.unsubscribe = unsubscribe
 	return ix, nil
 }
 
-// Close detaches the indexer from the lake's change feed. A replaced or
+// Close detaches the indexer from the lake's change feed and shuts its
+// per-shard appliers down after draining their queues. A replaced or
 // abandoned indexer must be closed, or every future ingest keeps feeding
 // (and growing) its dead index structures. The indexes remain searchable
 // after Close; they just stop updating. Idempotent.
 func (ix *Indexer) Close() {
-	if ix.unsubscribe != nil {
-		ix.unsubscribe()
+	ix.closeOnce.Do(func() {
+		if ix.unsubscribe != nil {
+			// Blocks until any in-flight delivery has returned, so no task
+			// can be enqueued after the applier queues close.
+			ix.unsubscribe()
+		}
+		ix.stopAppliers()
+	})
+}
+
+// stopAppliers closes the applier queues and waits for queued tasks to
+// drain (their completions still reach the lake's version watermark).
+func (ix *Indexer) stopAppliers() {
+	for _, ch := range ix.appliers {
+		close(ch)
 	}
+	ix.applierWG.Wait()
 }
 
 // Embedder exposes the shared embedding space (the reranker uses the same
@@ -292,50 +318,19 @@ func (ix *Indexer) ingest() error {
 	return nil
 }
 
-// apply is the lake change hook: it routes one committed mutation into the
-// affected indexes. Events arrive in lake-version order on the ingesting
-// goroutine.
-func (ix *Indexer) apply(ev datalake.Event) error {
-	switch ev.Kind {
-	case datalake.KindTable:
-		return ix.indexTable(ev.Table)
-	case datalake.KindText:
-		return ix.indexDocument(ev.Doc)
-	case datalake.KindEntity:
-		return ix.reindexEntity(ev.Triple.Subject)
-	default:
-		return fmt.Errorf("core: unhandled lake event kind %v", ev.Kind)
-	}
-}
-
 // indexTable indexes a table whole and/or per tuple, per the configured
-// kinds.
+// kinds (bulk-load path). It runs the same prepare/apply implementation as
+// the live pipeline, just synchronously on the calling goroutine.
 func (ix *Indexer) indexTable(t *table.Table) error {
-	if ix.wantKind(datalake.KindTable) {
-		id := datalake.TableInstanceID(t.ID)
-		if err := ix.add(datalake.KindTable, id, t.SerializeForIndex()); err != nil {
-			return err
-		}
-	}
-	if ix.wantKind(datalake.KindTuple) {
-		for row := range t.Rows {
-			tp, _ := t.TupleAt(row)
-			id := datalake.TupleInstanceID(t.ID, row)
-			if err := ix.add(datalake.KindTuple, id, tp.SerializeForIndex()); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	pe := ix.prepareEvent(datalake.Event{Kind: datalake.KindTable, Table: t})
+	return ix.applyOps(pe.bm25, pe.vec)
 }
 
 // indexDocument indexes a text document (whole for BM25, chunked for the
-// vector family when configured).
+// vector family when configured), sharing the live path's implementation.
 func (ix *Indexer) indexDocument(d *doc.Document) error {
-	if !ix.wantKind(datalake.KindText) {
-		return nil
-	}
-	return ix.addText(datalake.TextInstanceID(d.ID), d)
+	pe := ix.prepareEvent(datalake.Event{Kind: datalake.KindText, Doc: d})
+	return ix.applyOps(pe.bm25, pe.vec)
 }
 
 // add indexes one instance in both families, on the instance's shard.
@@ -394,35 +389,6 @@ func (ix *Indexer) reindexEntity(entity string) error {
 	id := datalake.EntityInstanceID(entity)
 	ix.remove(datalake.KindEntity, id)
 	return ix.add(datalake.KindEntity, id, g.SerializeEntity(entity))
-}
-
-// addText indexes a document: BM25 over the whole text, vectors per chunk
-// (the paper's "chunked text files ... indexed by Faiss"). Chunk vectors
-// share the document's instance ID suffixless for BM25; for vectors each
-// chunk gets a sub-ID that maps back to the document at combine time.
-func (ix *Indexer) addText(id string, d *doc.Document) error {
-	if shards, ok := ix.bm25[datalake.KindText]; ok {
-		if err := shards[ix.shard(id)].Add(id, d.SerializeForIndex()); err != nil {
-			return fmt.Errorf("core: bm25 add %s: %w", id, err)
-		}
-	}
-	shards, ok := ix.vec[datalake.KindText]
-	if !ok {
-		return nil
-	}
-	if ix.cfg.ChunkTokens <= 0 {
-		if err := shards[ix.shard(id)].Add(id, ix.emb.EmbedText(d.SerializeForIndex())); err != nil {
-			return fmt.Errorf("core: vector add %s: %w", id, err)
-		}
-		return nil
-	}
-	for _, ch := range doc.ChunkDocument(d, ix.cfg.ChunkTokens) {
-		chunkID := fmt.Sprintf("%s@%d", id, ch.Seq)
-		if err := shards[ix.shard(chunkID)].Add(chunkID, ix.emb.EmbedText(d.Title+" "+ch.Text)); err != nil {
-			return fmt.Errorf("core: vector add %s: %w", chunkID, err)
-		}
-	}
-	return nil
 }
 
 // queryVec embeds a query, consulting the LRU cache first.

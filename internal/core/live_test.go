@@ -295,6 +295,69 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 	}
 }
 
+// TestBatchIngestIndexed checks the pipelined batch path end to end: a
+// mixed AddBatch returns only after every item is applied by the per-shard
+// appliers, so each one is immediately retrievable, and per-item failures
+// do not disturb the indexed survivors.
+func TestBatchIngestIndexed(t *testing.T) {
+	lake, ix := liveIndexer(t, 3)
+
+	tbl := table.New("batch-t1", "1971 open championship", []string{"player", "prize"})
+	tbl.SourceID = "s1"
+	tbl.MustAppendRow("lee trevino", "5500")
+	dup := table.New("batch-t1", "dup", []string{"a"})
+	results, err := lake.AddBatch([]datalake.BatchItem{
+		{Table: tbl},
+		{Doc: &doc.Document{ID: "batch-d1", Title: "Lee Trevino", Text: "Lee Trevino won the 1971 open championship.", SourceID: "s2"}},
+		{Triple: &kg.Triple{Subject: "lee trevino", Predicate: "nickname", Object: "supermex", SourceID: "s1"}},
+		{Table: dup},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results[:3] {
+		if res.Err != nil {
+			t.Fatalf("item %d rejected: %v", i, res.Err)
+		}
+	}
+	if results[3].Err == nil {
+		t.Fatal("duplicate batch item accepted")
+	}
+
+	for _, tc := range []struct {
+		query string
+		kind  datalake.Kind
+		want  string
+	}{
+		{"1971 open championship lee trevino", datalake.KindTable, "table:batch-t1"},
+		{"lee trevino prize 5500", datalake.KindTuple, "tuple:batch-t1#0"},
+		{"lee trevino won the 1971 open championship", datalake.KindText, "text:batch-d1"},
+		{"lee trevino nickname supermex", datalake.KindEntity, "entity:lee trevino"},
+	} {
+		if _, combined := ix.Retrieve(tc.query, 10, tc.kind); !containsID(combined, tc.want) {
+			t.Fatalf("batch-ingested %s not retrieved: %v", tc.want, combined)
+		}
+	}
+}
+
+// TestEmptySubjectTripleDoesNotPanic is a regression test: a triple with an
+// empty subject must flow through the per-shard appliers like any other
+// entity event (the graph accepts every triple), not crash the applier.
+func TestEmptySubjectTripleDoesNotPanic(t *testing.T) {
+	lake, ix := liveIndexer(t, 2)
+	defer ix.Close()
+	if err := lake.AddTriple(kg.Triple{Subject: "", Predicate: "p", Object: "o"}); err != nil {
+		t.Fatalf("empty-subject AddTriple: %v", err)
+	}
+	// The lake (and its appliers) must still be functional afterwards.
+	if err := lake.AddTriple(kg.Triple{Subject: "after", Predicate: "p", Object: "o"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, combined := ix.Retrieve("after p o", 10, datalake.KindEntity); !containsID(combined, "entity:after") {
+		t.Fatalf("appliers dead after empty-subject triple: %v", combined)
+	}
+}
+
 // pipelineOver assembles a pipeline over a pre-built indexer (buildPipeline
 // builds its own).
 func pipelineOver(t *testing.T, lake *datalake.Lake, ix *Indexer) *Pipeline {

@@ -1,0 +1,147 @@
+package datalake
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/doc"
+	"repro/internal/kg"
+	"repro/internal/table"
+)
+
+// BatchItem is one mutation in an AddBatch call. Exactly one field must be
+// set; its modality determines the event kind.
+type BatchItem struct {
+	Table  *table.Table
+	Doc    *doc.Document
+	Triple *kg.Triple
+}
+
+// BatchItemResult is the per-item outcome of an AddBatch call: the lake
+// version the item committed as, or the error that rejected it (duplicate
+// ID, empty ID, malformed item) or failed its application.
+type BatchItemResult struct {
+	Version uint64
+	Err     error
+}
+
+// AddBatch ingests a mixed batch of tables, documents, and triples through
+// the pipelined write path, amortizing the commit stage: subscriber
+// prepare work (tokenization, embedding) fans out across a bounded worker
+// pool, then a single write-lock acquisition commits every valid item and
+// assigns contiguous versions. Items are committed in slice order, so the
+// change feed observes them in order.
+//
+// Item failures are independent: a duplicate or malformed item is reported
+// in its BatchItemResult without affecting the rest of the batch. The call
+// returns after every committed item has been applied (indexed); the only
+// batch-level error is ErrClosed.
+func (l *Lake) AddBatch(items []BatchItem) ([]BatchItemResult, error) {
+	results := make([]BatchItemResult, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+
+	// Stage 1: validate shape and build candidate events.
+	evs := make([]Event, len(items))
+	for i, it := range items {
+		switch {
+		case it.Table != nil && it.Doc == nil && it.Triple == nil:
+			if it.Table.ID == "" {
+				results[i].Err = fmt.Errorf("datalake: table with empty ID")
+				continue
+			}
+			evs[i] = Event{Kind: KindTable, Table: it.Table}
+		case it.Doc != nil && it.Table == nil && it.Triple == nil:
+			if it.Doc.ID == "" {
+				results[i].Err = fmt.Errorf("datalake: document with empty ID")
+				continue
+			}
+			evs[i] = Event{Kind: KindText, Doc: it.Doc}
+		case it.Triple != nil && it.Table == nil && it.Doc == nil:
+			evs[i] = Event{Kind: KindEntity, Triple: it.Triple}
+		default:
+			results[i].Err = fmt.Errorf("datalake: batch item %d must set exactly one of Table, Doc, Triple", i)
+		}
+	}
+
+	// Stage 2: run subscriber prepare stages in parallel across items on a
+	// bounded pool — the expensive embedding/tokenization work happens here,
+	// outside every lake lock.
+	payloads := make([]map[int]any, len(items))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i := range items {
+			if results[i].Err != nil {
+				continue
+			}
+			payloads[i], results[i].Err = l.prepare(evs[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					payloads[i], results[i].Err = l.prepare(evs[i])
+				}
+			}()
+		}
+		for i := range items {
+			if results[i].Err == nil {
+				idx <- i
+			}
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Stage 3: one write-lock acquisition commits every valid item and
+	// enqueues its event; versions are contiguous in slice order.
+	l.writeMu.Lock()
+	if l.closed {
+		l.writeMu.Unlock()
+		return results, ErrClosed
+	}
+	committed := make([]uint64, len(items))
+	l.mu.Lock()
+	for i := range items {
+		if results[i].Err != nil {
+			continue
+		}
+		if err := l.commitItemLocked(&evs[i]); err != nil {
+			results[i].Err = err
+			continue
+		}
+		committed[i] = evs[i].Version
+		results[i].Version = evs[i].Version
+	}
+	l.mu.Unlock()
+	// Enqueue under writeMu so queue order stays version order; a full
+	// queue applies backpressure here, bounding queued-event memory.
+	for i := range items {
+		if committed[i] == 0 {
+			continue
+		}
+		l.events <- queuedEvent{ev: evs[i], payloads: payloads[i]}
+	}
+	l.writeMu.Unlock()
+
+	// Stage 4: await application of every committed item (ascending, so
+	// only the tail wait actually blocks) and claim its application error.
+	for i := range items {
+		if committed[i] == 0 {
+			continue
+		}
+		if err := l.waitClaimed(committed[i]); err != nil {
+			results[i].Err = err
+		}
+	}
+	return results, nil
+}

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/doc"
 	"repro/internal/kg"
@@ -105,42 +106,152 @@ func (in Instance) Serialize() string {
 // to change subscribers. Exactly one of Table, Doc, or Triple is populated
 // according to Kind (KindTable, KindText, or KindEntity respectively).
 type Event struct {
-	// Version is the lake version the mutation committed as.
+	// Version is the lake version the mutation committed as. It is zero
+	// while the event is still a pre-commit candidate (the argument to a
+	// Subscriber.Prepare call).
 	Version uint64
 	// Kind classifies the mutation's modality.
 	Kind   Kind
 	Table  *table.Table
 	Doc    *doc.Document
 	Triple *kg.Triple
+	// Payload carries the value this subscriber's Prepare returned for the
+	// mutation (nil for subscribers without a Prepare stage, and for events
+	// committed before the subscriber registered). It is private to the
+	// subscriber: every subscriber sees its own payload.
+	Payload any
 }
 
-// ChangeHook observes committed mutations. Hooks run synchronously on the
-// ingesting goroutine, after the catalog lock is released (so they may query
-// the lake), and in version order. A hook error is returned to the ingest
-// caller; the catalog mutation itself stays committed — the error signals
-// that a downstream consumer (e.g. an incremental indexer) lagged, not that
-// the data was lost.
+// ChangeHook observes committed mutations. Hooks run on the lake's
+// dispatcher goroutine in version order, with no lake locks held. A hook
+// error is reported to the ingest caller whose mutation it rejected; the
+// catalog mutation itself stays committed — the error signals that a
+// downstream consumer (e.g. an incremental indexer) lagged, not that the
+// data was lost.
+//
+// Hooks must not ingest into the lake (AddTable and friends): the
+// dispatcher that runs them is also the consumer that drains the ingest
+// queue, so a reentrant write can deadlock against queue backpressure.
+// Reading the lake (Resolve, Graph, Stats, ...) is allowed.
 type ChangeHook func(Event) error
 
+// PrepareFunc is a subscriber's pre-commit stage. It runs on the ingesting
+// goroutine before the lake's write lock is taken, so expensive derivations
+// (tokenization, embedding) happen outside every lock and concurrent
+// writers compute them in parallel. The event has no Version yet; the
+// returned payload is attached to the committed event delivered to this
+// subscriber. An error aborts the ingest before anything commits.
+type PrepareFunc func(Event) (any, error)
+
+// ApplyFunc is a subscriber's asynchronous application stage. It is invoked
+// on the dispatcher goroutine in version order and must call done exactly
+// once — possibly from another goroutine — when the event has been fully
+// applied (e.g. after per-shard index appliers finish). The lake publishes
+// the event's version (Version, Flush, ingest-caller returns) only after
+// every subscriber's done fires. Like ChangeHook, ApplyFunc must not
+// ingest into the lake.
+type ApplyFunc func(ev Event, done func(error))
+
+// Subscriber is a two-stage change consumer: Prepare precomputes the
+// expensive payload outside the lake's locks, Apply consumes the committed
+// event asynchronously. Either field may be nil (a nil Apply makes the
+// subscriber prepare-only, which is rarely useful).
+type Subscriber struct {
+	Prepare PrepareFunc
+	Apply   ApplyFunc
+}
+
+// ErrClosed marks ingestion into a closed lake.
+var ErrClosed = errors.New("datalake: lake closed")
+
+// defaultQueueSize bounds the in-flight event queue between commit and the
+// dispatcher. Writers block (holding the write lock) once the queue is
+// full, so queued-event memory is bounded under ingest bursts.
+const defaultQueueSize = 256
+
+// Option configures a Lake.
+type Option func(*Lake)
+
+// WithQueueSize overrides the bounded ingest-event queue capacity
+// (default 256). Larger values absorb bigger ingest bursts before
+// backpressure blocks writers; smaller values bound memory tighter.
+func WithQueueSize(n int) Option {
+	return func(l *Lake) {
+		if n > 0 {
+			l.queueSize = n
+		}
+	}
+}
+
 // Lake is the multi-modal data lake catalog. The lake is live: ingestion is
-// allowed at any time and is serialized by an exclusive lock, while lookups
-// take a shared lock, so the lake serves reads during writes. Every
-// mutation bumps a monotonic version and notifies registered change hooks.
+// allowed at any time, while lookups take a shared lock, so the lake serves
+// reads during writes. Every mutation bumps a monotonic version.
+//
+// The write path is pipelined. An ingest runs three stages:
+//
+//  1. prepare — subscriber Prepare funcs derive expensive payloads
+//     (tokenize, embed) on the ingesting goroutine, outside every lake
+//     lock, so concurrent writers prepare in parallel;
+//  2. commit — the write lock covers only the catalog mutation, version
+//     assignment, and enqueueing the event on a bounded ordered queue;
+//  3. apply — a dispatcher goroutine delivers events to subscribers in
+//     version order; application (index maintenance) may fan out to
+//     per-shard appliers and completes asynchronously.
+//
+// Version() publication — not hook ordering — provides the visibility
+// guarantee: a version becomes observable only once its event is fully
+// applied. The ingest entry points additionally wait for their own
+// mutation's application before returning, so "AddX returned nil" still
+// implies "retrievable now".
 type Lake struct {
-	// writeMu serializes mutations end-to-end (catalog update + hook
-	// notification) so hooks observe events in version order. It is always
-	// acquired before mu.
+	// writeMu serializes the commit stage (catalog mutation + version
+	// assignment + enqueue). It is intentionally narrow: no subscriber
+	// code and no derivation work runs under it. Always acquired before mu.
 	writeMu sync.Mutex
+	closed  bool // guarded by writeMu
+
+	// hooksMu guards the subscriber list; it is never held while acquiring
+	// writeMu or mu, and the dispatcher holds it (shared) for the duration
+	// of one event's delivery so unsubscribe can exclude in-flight calls.
+	hooksMu sync.RWMutex
 	hooks   []registeredHook
 	hookSeq int
 
-	mu      sync.RWMutex
+	// events is the bounded ordered queue between commit and dispatch.
+	// Sends happen under writeMu, so channel order is version order.
+	events    chan queuedEvent
+	queueSize int
+	closeOnce sync.Once
+	closeErr  error
+	// dispatchDone closes when the dispatcher exits (after Close drains).
+	dispatchDone chan struct{}
+
+	mu   sync.RWMutex
+	cond *sync.Cond // broadcast when processed/published advance
+	// version is the last assigned (committed) version.
 	version uint64
-	// published trails version: it advances only after a mutation's hooks
-	// have run, so readers of Version() never observe a version whose
-	// incremental indexing is still in flight.
+	// processed is the contiguous application watermark: every event with
+	// version <= processed has completed application (successfully or not).
+	processed uint64
+	// published trails processed: it is the last *successfully* applied
+	// version, so readers of Version() never observe a version whose
+	// incremental indexing failed or is still in flight.
 	published uint64
-	tables    map[string]*table.Table
+	// failed records application errors by version until the ingest caller
+	// (or Flush) claims them.
+	failed map[uint64]error
+	// waiting counts ingest callers registered (at commit time) to claim
+	// their version's application error; Flush and WaitVersion leave those
+	// errors for the registered claimant instead of stealing them.
+	waiting map[uint64]int
+	// ahead holds completion results for versions above processed+1, so
+	// out-of-order async completions advance the watermark contiguously.
+	ahead map[uint64]error
+	// drained flips once Close has applied the final event; waiters for
+	// versions that will now never commit are woken with ErrClosed.
+	drained bool
+
+	tables  map[string]*table.Table
 	docs    map[string]*doc.Document
 	graph   *kg.Graph
 	sources map[string]Source
@@ -149,14 +260,36 @@ type Lake struct {
 	docIDs   []string
 }
 
-// New returns an empty lake.
-func New() *Lake {
-	return &Lake{
-		tables:  make(map[string]*table.Table),
-		docs:    make(map[string]*doc.Document),
-		graph:   kg.NewGraph(),
-		sources: make(map[string]Source),
+// queuedEvent pairs a committed event with the per-subscriber payloads its
+// prepare stage produced (keyed by subscriber registration id).
+type queuedEvent struct {
+	ev       Event
+	payloads map[int]any
+}
+
+// New returns an empty lake and starts its event dispatcher. The
+// dispatcher goroutine keeps the lake reachable until Close, so a
+// long-lived process that discards lakes (rather than keeping one for its
+// lifetime) must Close them to release the memory.
+func New(opts ...Option) *Lake {
+	l := &Lake{
+		tables:       make(map[string]*table.Table),
+		docs:         make(map[string]*doc.Document),
+		graph:        kg.NewGraph(),
+		sources:      make(map[string]Source),
+		failed:       make(map[uint64]error),
+		waiting:      make(map[uint64]int),
+		ahead:        make(map[uint64]error),
+		queueSize:    defaultQueueSize,
+		dispatchDone: make(chan struct{}),
 	}
+	for _, o := range opts {
+		o(l)
+	}
+	l.cond = sync.NewCond(&l.mu)
+	l.events = make(chan queuedEvent, l.queueSize)
+	go l.dispatch()
+	return l
 }
 
 // AddSource registers (or overwrites) a source description. A zero
@@ -190,11 +323,13 @@ func (l *Lake) Sources() []Source {
 	return out
 }
 
-// registeredHook pairs a hook with its registration handle so it can be
-// removed again.
+// registeredHook pairs a subscriber with its registration handle so it can
+// be removed again (synchronous ChangeHooks are wrapped into ApplyFuncs at
+// registration).
 type registeredHook struct {
-	id int
-	h  ChangeHook
+	id      int
+	apply   ApplyFunc
+	prepare PrepareFunc
 }
 
 // OnChange registers a hook observing every subsequent mutation. Typically
@@ -202,37 +337,61 @@ type registeredHook struct {
 // wire incremental index maintenance. The returned function unsubscribes
 // the hook (idempotent); discard it for a process-lifetime subscription.
 func (l *Lake) OnChange(h ChangeHook) (unsubscribe func()) {
-	l.writeMu.Lock()
-	defer l.writeMu.Unlock()
-	return l.subscribeLocked(h)
+	return l.Subscribe(Subscriber{Apply: func(ev Event, done func(error)) { done(h(ev)) }})
 }
 
-// OnChangeSync runs init and then registers h, all while holding the lake's
-// write lock: no mutation can commit between init's snapshot of the lake
-// and the hook registration. An incremental indexer uses this to close the
-// gap where a concurrent ingest would be neither bulk-indexed nor delivered
-// as an event. init may read the lake but must not mutate it (that would
-// deadlock); an init error aborts the registration.
+// Subscribe registers a two-stage subscriber observing every subsequent
+// mutation. The returned function unsubscribes it (idempotent) and blocks
+// until any in-flight delivery to the subscriber has returned, so after it
+// returns the subscriber's Apply is never invoked again.
+func (l *Lake) Subscribe(s Subscriber) (unsubscribe func()) {
+	l.hooksMu.Lock()
+	defer l.hooksMu.Unlock()
+	return l.subscribeLocked(s)
+}
+
+// OnChangeSync runs init and then registers h, with the lake quiesced: the
+// write lock is held and the event queue fully drained across both, so no
+// mutation can commit — and no committed mutation can still be applying —
+// between init's snapshot of the lake and the registration. An incremental
+// indexer uses this to close the gap where a concurrent ingest would be
+// neither bulk-indexed nor delivered as an event. init may read the lake
+// but must not mutate it (that would deadlock); an init error aborts the
+// registration.
 func (l *Lake) OnChangeSync(init func() error, h ChangeHook) (unsubscribe func(), err error) {
+	return l.SubscribeSync(init, Subscriber{Apply: func(ev Event, done func(error)) { done(h(ev)) }})
+}
+
+// SubscribeSync is OnChangeSync for a two-stage Subscriber.
+func (l *Lake) SubscribeSync(init func() error, s Subscriber) (unsubscribe func(), err error) {
 	l.writeMu.Lock()
 	defer l.writeMu.Unlock()
+	// Drain: every committed event has been applied before init snapshots
+	// the catalog, so nothing is both snapshotted and later delivered.
+	l.mu.Lock()
+	for l.processed < l.version {
+		l.cond.Wait()
+	}
+	l.mu.Unlock()
 	if init != nil {
 		if err := init(); err != nil {
 			return nil, err
 		}
 	}
-	return l.subscribeLocked(h), nil
+	l.hooksMu.Lock()
+	defer l.hooksMu.Unlock()
+	return l.subscribeLocked(s), nil
 }
 
-// subscribeLocked appends the hook and builds its unsubscribe closure.
-// Caller holds writeMu.
-func (l *Lake) subscribeLocked(h ChangeHook) func() {
+// subscribeLocked appends the subscriber and builds its unsubscribe
+// closure. Caller holds hooksMu.
+func (l *Lake) subscribeLocked(s Subscriber) func() {
 	l.hookSeq++
 	id := l.hookSeq
-	l.hooks = append(l.hooks, registeredHook{id: id, h: h})
+	l.hooks = append(l.hooks, registeredHook{id: id, apply: s.Apply, prepare: s.Prepare})
 	return func() {
-		l.writeMu.Lock()
-		defer l.writeMu.Unlock()
+		l.hooksMu.Lock()
+		defer l.hooksMu.Unlock()
 		for i, rh := range l.hooks {
 			if rh.id == id {
 				l.hooks = append(l.hooks[:i], l.hooks[i+1:]...)
@@ -245,11 +404,11 @@ func (l *Lake) subscribeLocked(h ChangeHook) func() {
 // Version returns the lake's monotonic mutation version (0 for an empty,
 // untouched lake). Each successful AddTable/AddDocument/AddTriple bumps it
 // by one, and the bump becomes visible here only after the mutation's
-// change hooks (incremental indexing) have completed — so once a reader
-// observes Version() >= V, every mutation up to V whose ingest call
-// returned nil is fully indexed. A mutation whose hook errored (its ingest
-// call returned the error) stays committed in the catalog but may be
-// absent from the indexes; its own version is never published, though
+// incremental indexing (subscriber application) has completed — so once a
+// reader observes Version() >= V, every mutation up to V whose ingest call
+// returned nil is fully indexed. A mutation whose application errored (its
+// ingest call returned the error) stays committed in the catalog but may
+// be absent from the indexes; its own version is never published, though
 // later successful mutations publish past it.
 func (l *Lake) Version() uint64 {
 	l.mu.RLock()
@@ -257,19 +416,290 @@ func (l *Lake) Version() uint64 {
 	return l.published
 }
 
-// notify runs the hooks for one committed event and then publishes its
-// version; a hook error leaves the version unpublished (the caller sees
-// the error instead). Caller holds writeMu (but not mu).
-func (l *Lake) notify(ev Event) error {
+// dispatch is the lake's event-dispatcher goroutine: it pops committed
+// events off the ordered queue and delivers each to every subscriber in
+// version order. It exits when Close closes the (drained) queue.
+func (l *Lake) dispatch() {
+	defer close(l.dispatchDone)
+	for qe := range l.events {
+		l.deliver(qe)
+	}
+}
+
+// deliver invokes every subscriber's Apply for one event, aggregating their
+// asynchronous completions; the event's version is marked applied once all
+// of them (and the dispatcher's own token) are done. hooksMu is held shared
+// across the Apply calls so unsubscribe can exclude in-flight deliveries.
+func (l *Lake) deliver(qe queuedEvent) {
+	version := qe.ev.Version
+	// One token for the dispatcher itself, released after all Applies have
+	// been started, so no early completion can fire while hooks remain.
+	c := NewCountdown(1, func(err error) { l.applied(version, err) })
+	l.hooksMu.RLock()
 	for _, rh := range l.hooks {
-		if err := rh.h(ev); err != nil {
-			return err
+		if rh.apply == nil {
+			continue
+		}
+		ev := qe.ev
+		ev.Payload = qe.payloads[rh.id]
+		c.Add(1)
+		rh.apply(ev, c.Done)
+	}
+	l.hooksMu.RUnlock()
+	c.Done(nil)
+}
+
+// Countdown aggregates several asynchronous completions into one callback:
+// the final Done fires the wrapped function with the first error observed.
+// Subscribers fanning one event's application across workers (e.g. the
+// indexer's per-shard appliers) use it to produce the single done call an
+// ApplyFunc owes the lake.
+type Countdown struct {
+	remaining atomic.Int32
+	errMu     sync.Mutex
+	err       error
+	done      func(error)
+}
+
+// NewCountdown returns a countdown firing done after n Done calls (plus
+// any registered via Add). n must be at least 1.
+func NewCountdown(n int, done func(error)) *Countdown {
+	c := &Countdown{done: done}
+	c.remaining.Store(int32(n))
+	return c
+}
+
+// Add registers delta additional Done calls to await. It must be called
+// while the countdown is held open (before the outstanding count can
+// reach zero).
+func (c *Countdown) Add(delta int) { c.remaining.Add(int32(delta)) }
+
+// Done records one completion; each participant must call it exactly once.
+func (c *Countdown) Done(err error) {
+	if err != nil {
+		c.errMu.Lock()
+		if c.err == nil {
+			c.err = err
+		}
+		c.errMu.Unlock()
+	}
+	if c.remaining.Add(-1) == 0 {
+		c.errMu.Lock()
+		first := c.err
+		c.errMu.Unlock()
+		c.done(first)
+	}
+}
+
+// applied advances the contiguous application watermark with one event's
+// completion. Completions may arrive out of order (per-shard appliers
+// finish independently); the watermark only moves through versions whose
+// predecessors are all applied, and publication skips failed versions.
+func (l *Lake) applied(version uint64, err error) {
+	l.mu.Lock()
+	if err != nil {
+		l.failed[version] = err
+	}
+	l.ahead[version] = err
+	for {
+		e, ok := l.ahead[l.processed+1]
+		if !ok {
+			break
+		}
+		delete(l.ahead, l.processed+1)
+		l.processed++
+		if e == nil {
+			l.published = l.processed
 		}
 	}
-	l.mu.Lock()
-	l.published = ev.Version
 	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// WaitVersion blocks until the mutation committed as version v has been
+// fully applied (its indexing finished, successfully or not), then returns
+// the application error recorded for v, if any. An error whose ingest
+// caller is still waiting for it stays reserved for that caller (this
+// function reports it without claiming it); otherwise the error is
+// claimed and reported once. Waiting for a version that was never
+// committed blocks until it is — or returns ErrClosed once Close
+// guarantees it never will be.
+func (l *Lake) WaitVersion(v uint64) error {
+	return l.wait(v, false)
+}
+
+// waitClaimed is WaitVersion for the ingest caller registered at commit
+// time: it always claims the version's error and releases the
+// registration. Its callers wait on committed versions, which Close always
+// applies before draining, so the drained guard is only a safety net.
+func (l *Lake) waitClaimed(v uint64) error {
+	return l.wait(v, true)
+}
+
+// wait is the single wait-loop implementation behind WaitVersion (claim
+// only when unreserved) and waitClaimed (always claim and deregister).
+func (l *Lake) wait(v uint64, claim bool) error {
+	l.mu.Lock()
+	for l.processed < v {
+		if l.drained {
+			l.mu.Unlock()
+			return ErrClosed
+		}
+		l.cond.Wait()
+	}
+	err := l.failed[v]
+	if claim {
+		delete(l.failed, v)
+		if n := l.waiting[v]; n > 1 {
+			l.waiting[v] = n - 1
+		} else {
+			delete(l.waiting, v)
+		}
+	} else if l.waiting[v] == 0 {
+		delete(l.failed, v)
+	}
+	l.mu.Unlock()
+	return err
+}
+
+// Flush blocks until every mutation accepted before the call has been
+// applied (successfully or not). It returns the publication watermark —
+// the same value Version() now reports; every successfully applied write
+// at or below it is visible to retrieval — and any unclaimed application
+// errors, joined. A mutation whose error is reported here (or was
+// reported to its ingest caller) is committed in the catalog but absent
+// from the indexes, at any version. Errors reserved for a still-waiting
+// ingest caller are left to that caller.
+func (l *Lake) Flush() (uint64, error) {
+	l.mu.Lock()
+	target := l.version
+	for l.processed < target {
+		l.cond.Wait()
+	}
+	var versions []uint64
+	for v := range l.failed {
+		if v <= target && l.waiting[v] == 0 {
+			versions = append(versions, v)
+		}
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	var errs []error
+	for _, v := range versions {
+		errs = append(errs, l.failed[v])
+		delete(l.failed, v)
+	}
+	watermark := l.published
+	l.mu.Unlock()
+	return watermark, errors.Join(errs...)
+}
+
+// Close shuts ingestion down: subsequent writes are rejected with
+// ErrClosed, every already-accepted write is applied (none are lost), and
+// the dispatcher goroutine exits. Returns any unclaimed application errors
+// from the final drain. Idempotent; concurrent calls wait for the first to
+// finish. The lake remains readable after Close.
+func (l *Lake) Close() error {
+	l.closeOnce.Do(func() {
+		l.writeMu.Lock()
+		l.closed = true
+		l.writeMu.Unlock()
+		_, l.closeErr = l.Flush()
+		close(l.events)
+		<-l.dispatchDone
+		// Wake waiters for versions that will now never commit.
+		l.mu.Lock()
+		l.drained = true
+		l.mu.Unlock()
+		l.cond.Broadcast()
+	})
+	// Wait for a concurrent first closer to finish draining.
+	<-l.dispatchDone
+	return l.closeErr
+}
+
+// prepare runs every subscriber's Prepare stage for a candidate event, on
+// the calling (ingesting) goroutine, with no lake locks held. The hook
+// list is snapshotted first so the expensive Prepare work never holds
+// hooksMu — a pending Subscribe (write lock) must not stall other
+// preparers or the dispatcher behind one slow item. A subscriber
+// unsubscribed mid-prepare runs its Prepare once more harmlessly: deliver
+// looks payloads up by the registration ids still subscribed.
+func (l *Lake) prepare(ev Event) (map[int]any, error) {
+	l.hooksMu.RLock()
+	var preparers []registeredHook
+	for _, rh := range l.hooks {
+		if rh.prepare != nil {
+			preparers = append(preparers, rh)
+		}
+	}
+	l.hooksMu.RUnlock()
+	var payloads map[int]any
+	for _, rh := range preparers {
+		p, err := rh.prepare(ev)
+		if err != nil {
+			return nil, fmt.Errorf("datalake: prepare: %w", err)
+		}
+		if payloads == nil {
+			payloads = make(map[int]any, len(preparers))
+		}
+		payloads[rh.id] = p
+	}
+	return payloads, nil
+}
+
+// commitItemLocked performs one validated event's catalog mutation,
+// assigns its version, and registers the ingest caller as the claimant of
+// the version's application error — before anything can complete it, so a
+// concurrent Flush cannot steal the error the caller must return. It is
+// the single commit implementation shared by the per-item adds and
+// AddBatch. Caller holds writeMu and mu.
+func (l *Lake) commitItemLocked(ev *Event) error {
+	switch ev.Kind {
+	case KindTable:
+		t := ev.Table
+		if _, dup := l.tables[t.ID]; dup {
+			return fmt.Errorf("datalake: duplicate table id %q: %w", t.ID, ErrDuplicate)
+		}
+		l.tables[t.ID] = t
+		l.tableIDs = append(l.tableIDs, t.ID)
+	case KindText:
+		d := ev.Doc
+		if _, dup := l.docs[d.ID]; dup {
+			return fmt.Errorf("datalake: duplicate document id %q: %w", d.ID, ErrDuplicate)
+		}
+		l.docs[d.ID] = d
+		l.docIDs = append(l.docIDs, d.ID)
+	case KindEntity:
+		l.graph.Add(*ev.Triple)
+	default:
+		return fmt.Errorf("datalake: unhandled event kind %v", ev.Kind)
+	}
+	l.version++
+	ev.Version = l.version
+	l.waiting[ev.Version]++
 	return nil
+}
+
+// commit runs the commit stage for one event under the write lock (which
+// spans only the catalog mutation, version assignment, and enqueue).
+func (l *Lake) commit(payloads map[int]any, ev Event) (uint64, error) {
+	l.writeMu.Lock()
+	if l.closed {
+		l.writeMu.Unlock()
+		return 0, ErrClosed
+	}
+	l.mu.Lock()
+	err := l.commitItemLocked(&ev)
+	l.mu.Unlock()
+	if err != nil {
+		l.writeMu.Unlock()
+		return 0, err
+	}
+	// Enqueue under writeMu so queue order is version order; a full queue
+	// blocks writers here (backpressure), never readers.
+	l.events <- queuedEvent{ev: ev, payloads: payloads}
+	l.writeMu.Unlock()
+	return ev.Version, nil
 }
 
 // AddTable ingests a table. The table's ID must be unique. Safe to call at
@@ -285,19 +715,18 @@ func (l *Lake) AddTableVersioned(t *table.Table) (uint64, error) {
 	if t.ID == "" {
 		return 0, fmt.Errorf("datalake: table with empty ID")
 	}
-	l.writeMu.Lock()
-	defer l.writeMu.Unlock()
-	l.mu.Lock()
-	if _, dup := l.tables[t.ID]; dup {
-		l.mu.Unlock()
+	if l.hasTable(t.ID) { // cheap pre-check: skip prepare for obvious dups
 		return 0, fmt.Errorf("datalake: duplicate table id %q: %w", t.ID, ErrDuplicate)
 	}
-	l.tables[t.ID] = t
-	l.tableIDs = append(l.tableIDs, t.ID)
-	l.version++
-	ev := Event{Version: l.version, Kind: KindTable, Table: t}
-	l.mu.Unlock()
-	return ev.Version, l.notify(ev)
+	payloads, err := l.prepare(Event{Kind: KindTable, Table: t})
+	if err != nil {
+		return 0, err
+	}
+	v, err := l.commit(payloads, Event{Kind: KindTable, Table: t})
+	if err != nil {
+		return 0, err
+	}
+	return v, l.waitClaimed(v)
 }
 
 // AddDocument ingests a text document. The document's ID must be unique.
@@ -313,24 +742,23 @@ func (l *Lake) AddDocumentVersioned(d *doc.Document) (uint64, error) {
 	if d.ID == "" {
 		return 0, fmt.Errorf("datalake: document with empty ID")
 	}
-	l.writeMu.Lock()
-	defer l.writeMu.Unlock()
-	l.mu.Lock()
-	if _, dup := l.docs[d.ID]; dup {
-		l.mu.Unlock()
+	if l.hasDoc(d.ID) {
 		return 0, fmt.Errorf("datalake: duplicate document id %q: %w", d.ID, ErrDuplicate)
 	}
-	l.docs[d.ID] = d
-	l.docIDs = append(l.docIDs, d.ID)
-	l.version++
-	ev := Event{Version: l.version, Kind: KindText, Doc: d}
-	l.mu.Unlock()
-	return ev.Version, l.notify(ev)
+	payloads, err := l.prepare(Event{Kind: KindText, Doc: d})
+	if err != nil {
+		return 0, err
+	}
+	v, err := l.commit(payloads, Event{Kind: KindText, Doc: d})
+	if err != nil {
+		return 0, err
+	}
+	return v, l.waitClaimed(v)
 }
 
 // AddTriple ingests a knowledge-graph triple. Safe to call at any time,
 // including while the lake serves queries. The returned error only ever
-// comes from a change hook (the graph itself accepts every triple).
+// comes from event application (the graph itself accepts every triple).
 func (l *Lake) AddTriple(t kg.Triple) error {
 	_, err := l.AddTripleVersioned(t)
 	return err
@@ -339,14 +767,30 @@ func (l *Lake) AddTriple(t kg.Triple) error {
 // AddTripleVersioned is AddTriple returning the lake version the mutation
 // committed as.
 func (l *Lake) AddTripleVersioned(t kg.Triple) (uint64, error) {
-	l.writeMu.Lock()
-	defer l.writeMu.Unlock()
-	l.mu.Lock()
-	l.graph.Add(t)
-	l.version++
-	ev := Event{Version: l.version, Kind: KindEntity, Triple: &t}
-	l.mu.Unlock()
-	return ev.Version, l.notify(ev)
+	payloads, err := l.prepare(Event{Kind: KindEntity, Triple: &t})
+	if err != nil {
+		return 0, err
+	}
+	v, err := l.commit(payloads, Event{Kind: KindEntity, Triple: &t})
+	if err != nil {
+		return 0, err
+	}
+	return v, l.waitClaimed(v)
+}
+
+// hasTable / hasDoc are shared-lock duplicate pre-checks.
+func (l *Lake) hasTable(id string) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	_, ok := l.tables[id]
+	return ok
+}
+
+func (l *Lake) hasDoc(id string) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	_, ok := l.docs[id]
+	return ok
 }
 
 // Graph returns the lake's knowledge graph (shared; internally synchronized,

@@ -13,8 +13,10 @@ package embed
 
 import (
 	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/detrand"
 	"repro/internal/textutil"
@@ -174,6 +176,68 @@ func (e *Embedder) EmbedText(s string) Vector {
 		}
 	}
 	Normalize(out)
+	return out
+}
+
+// embedSlots bounds the extra goroutines all concurrent EmbedTexts calls
+// may spawn, process-wide, to GOMAXPROCS: nested pools (e.g. a batch
+// ingest's per-item prepare workers each embedding a multi-row table)
+// degrade to inline work instead of oversubscribing the scheduler.
+var embedSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// EmbedTexts embeds a batch of texts on a bounded worker pool (workers <= 0
+// means GOMAXPROCS), returning one vector per text in order. This is the
+// batch entry point the pipelined ingest path uses to fan embedding work
+// across cores before the lake's write lock is taken. The calling
+// goroutine always participates, so progress never depends on acquiring a
+// worker slot.
+func (e *Embedder) EmbedTexts(texts []string, workers int) []Vector {
+	out := make([]Vector, len(texts))
+	if len(texts) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(texts) {
+		workers = len(texts)
+	}
+	// Tiny batches embed inline: goroutine setup would outweigh the work,
+	// and callers already inside a worker pool (batch-ingest prepare) get
+	// their parallelism across items, not within one small item.
+	if workers <= 1 || len(texts) < 4 {
+		for i, s := range texts {
+			out[i] = e.EmbedText(s)
+		}
+		return out
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(texts) {
+				return
+			}
+			out[i] = e.EmbedText(texts[i])
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ { // worker 0 is the caller
+		select {
+		case embedSlots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-embedSlots }()
+				work()
+			}()
+			continue
+		default:
+		}
+		break // slots exhausted: the caller and acquired workers finish the rest
+	}
+	work()
+	wg.Wait()
 	return out
 }
 

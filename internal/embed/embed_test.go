@@ -205,3 +205,33 @@ func TestEmbedQuickProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestEmbedTextsMatchesEmbedText(t *testing.T) {
+	// The batch entry point must produce bitwise-identical vectors to the
+	// single-text path, in order, at every worker count.
+	e := NewEmbedder(64, 7)
+	texts := make([]string, 17)
+	for i := range texts {
+		texts[i] = "document " + string(rune('a'+i)) + " about golf prize money records"
+	}
+	want := make([]Vector, len(texts))
+	for i, s := range texts {
+		want[i] = e.EmbedText(s)
+	}
+	for _, workers := range []int{0, 1, 4, 32} {
+		got := e.EmbedTexts(texts, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: got %d vectors, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			for d := range want[i] {
+				if got[i][d] != want[i][d] {
+					t.Fatalf("workers=%d: vector %d differs at dim %d", workers, i, d)
+				}
+			}
+		}
+	}
+	if out := e.EmbedTexts(nil, 4); len(out) != 0 {
+		t.Fatalf("EmbedTexts(nil) = %v, want empty", out)
+	}
+}

@@ -202,6 +202,13 @@ func (e *Env) AblateTrust(res *AblationsResult) error {
 	if err != nil {
 		return err
 	}
+	// This lake is private to the ablation: shut its dispatcher and the
+	// indexer's appliers down so repeated ablation runs don't accumulate
+	// goroutines and pinned corpora.
+	defer func() {
+		_ = corpus.Lake.Close()
+		indexer.Close()
+	}()
 	registry := rerank.NewRegistry(rerank.NewColBERT(indexer.Embedder(), 256))
 	agent := verify.NewAgent(verify.NewExactVerifier())
 

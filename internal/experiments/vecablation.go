@@ -40,6 +40,9 @@ func (e *Env) AblateVectorIndex() (map[string]VectorIndexPoint, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: build %s indexer: %w", k.name, err)
 		}
+		// Detach from the shared live lake once measured, or every later
+		// ingest would keep feeding this throwaway index.
+		defer indexer.Close()
 		var tally metrics.RecallTally
 		start := time.Now()
 		for i, task := range e.ClaimTasks {

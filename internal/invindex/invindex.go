@@ -73,7 +73,14 @@ func New(opts ...Option) *Index {
 // documents are immutable, and the caller should Delete first (matching the
 // append-mostly ingest pattern of a data lake).
 func (ix *Index) Add(id, text string) error {
-	terms := ix.analyze(text)
+	return ix.AddTerms(id, ix.analyze(text))
+}
+
+// AddTerms indexes a pre-analyzed document under id. The caller ran the
+// analysis chain (Analyze) already — typically on an ingest pipeline's
+// prepare stage, outside the index lock — so the critical section covers
+// only the posting-list insertion.
+func (ix *Index) AddTerms(id string, terms []string) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ord, ok := ix.byID[id]; ok && !ix.deleted[ord] {

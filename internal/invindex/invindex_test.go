@@ -305,3 +305,37 @@ func TestBM25ParamOverride(t *testing.T) {
 		t.Errorf("b=0 ranking = %v", hits)
 	}
 }
+
+func TestAddTermsMatchesAdd(t *testing.T) {
+	// Indexing pre-analyzed terms (the pipelined ingest path) must rank
+	// identically to indexing raw text, and enforce the same dup rule.
+	raw := New()
+	pre := New()
+	docs := map[string]string{
+		"d1": "tommy bolt recorded a money of 570 at the 1954 open",
+		"d2": "ben hogan finished with a total of 287 in 1959",
+		"d3": "the committee reviewed attendance and prize money records",
+	}
+	for id, text := range docs {
+		if err := raw.Add(id, text); err != nil {
+			t.Fatal(err)
+		}
+		if err := pre.AddTerms(id, pre.Analyze(text)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pre.AddTerms("d1", pre.Analyze("dup")); err == nil {
+		t.Fatal("AddTerms accepted a duplicate id")
+	}
+	for _, q := range []string{"tommy bolt money", "prize money records", "ben hogan 287"} {
+		a, b := raw.Search(q, 10), pre.Search(q, 10)
+		if len(a) != len(b) {
+			t.Fatalf("query %q: %d vs %d hits", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %q hit %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -99,8 +99,11 @@ func Save(lake *datalake.Lake, dir string) error {
 	return nil
 }
 
-// Load reads a lake directory written by Save.
-func Load(dir string) (*datalake.Lake, error) {
+// Load reads a lake directory written by Save. opts configure the returned
+// lake (e.g. datalake.WithQueueSize for the ingest queue bound). The lake
+// runs a dispatcher goroutine; processes that discard loaded lakes before
+// exiting should Close them.
+func Load(dir string, opts ...datalake.Option) (_ *datalake.Lake, err error) {
 	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, fmt.Errorf("lakeio: read manifest: %w", err)
@@ -109,10 +112,21 @@ func Load(dir string) (*datalake.Lake, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("lakeio: parse manifest: %w", err)
 	}
-	lake := datalake.New()
+	lake := datalake.New(opts...)
+	// The lake owns a dispatcher goroutine; shut it down if the load is
+	// abandoned on any error path below.
+	defer func() {
+		if err != nil {
+			_ = lake.Close()
+		}
+	}()
 	for _, s := range m.Sources {
 		lake.AddSource(s)
 	}
+	// Batch the whole manifest through one pipelined ingest: a single
+	// write-lock acquisition commits every item, instead of one
+	// commit+wait round trip per instance.
+	var items []datalake.BatchItem
 	for _, te := range m.Tables {
 		f, err := os.Open(filepath.Join(dir, te.File))
 		if err != nil {
@@ -126,9 +140,7 @@ func Load(dir string) (*datalake.Lake, error) {
 			return nil, fmt.Errorf("lakeio: read table %q: %w", te.ID, err)
 		}
 		t.SourceID = te.SourceID
-		if err := lake.AddTable(t); err != nil {
-			return nil, err
-		}
+		items = append(items, datalake.BatchItem{Table: t})
 	}
 	for _, de := range m.Docs {
 		text, err := os.ReadFile(filepath.Join(dir, de.File))
@@ -136,13 +148,19 @@ func Load(dir string) (*datalake.Lake, error) {
 			return nil, fmt.Errorf("lakeio: read doc %q: %w", de.ID, err)
 		}
 		d := &doc.Document{ID: de.ID, Title: de.Title, EntityID: de.EntityID, SourceID: de.SourceID, Text: string(text)}
-		if err := lake.AddDocument(d); err != nil {
-			return nil, err
-		}
+		items = append(items, datalake.BatchItem{Doc: d})
 	}
 	for _, tr := range m.Triples {
-		if err := lake.AddTriple(tr); err != nil {
-			return nil, err
+		tr := tr
+		items = append(items, datalake.BatchItem{Triple: &tr})
+	}
+	results, err := lake.AddBatch(items)
+	if err != nil {
+		return nil, fmt.Errorf("lakeio: load batch: %w", err)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			return nil, fmt.Errorf("lakeio: load: %w", res.Err)
 		}
 	}
 	return lake, nil

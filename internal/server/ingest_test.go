@@ -121,6 +121,97 @@ func TestIngestEndpoints(t *testing.T) {
 	}
 }
 
+// TestIngestBatchEndpoint checks POST /v1/ingest/batch: a mixed batch
+// commits in one call, per-item failures (duplicates) surface in the
+// per-item results without failing the batch, and every committed item is
+// verifiable as soon as the response arrives.
+func TestIngestBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	base := lakeVersion(t, ts.URL)
+
+	resp, body := postJSON(t, ts.URL+"/v1/ingest/batch", IngestBatchRequest{Items: []IngestBatchItem{
+		{Type: "table", ID: "open1971", Caption: "1971 open championship",
+			Columns: []string{"player", "prize"}, Rows: [][]string{{"lee trevino", "5500"}},
+			SourceID: workload.CaseSource},
+		{Type: "document", ID: "trevino-bio", Title: "Lee Trevino",
+			Text: "Lee Trevino won the 1971 open championship.", SourceID: workload.CaseSource},
+		{Type: "triple", Subject: "lee trevino", Predicate: "nickname", Object: "supermex",
+			SourceID: workload.CaseSource},
+		{Type: "table", ID: "open1971", Caption: "dup", Columns: []string{"a"}},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch ingest status = %d body = %s", resp.StatusCode, body)
+	}
+	var ack IngestBatchResponse
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Status != "partial" || ack.Ingested != 3 || ack.Failed != 1 {
+		t.Fatalf("ack = %+v, want partial with 3 ingested / 1 failed", ack)
+	}
+	if ack.Version != base+3 {
+		t.Fatalf("batch version = %d, want %d", ack.Version, base+3)
+	}
+	for i, want := range []uint64{base + 1, base + 2, base + 3} {
+		if ack.Results[i].Version != want || ack.Results[i].Error != "" {
+			t.Fatalf("result %d = %+v, want version %d", i, ack.Results[i], want)
+		}
+	}
+	if ack.Results[3].Error == "" {
+		t.Fatal("duplicate batch item did not report an error")
+	}
+	if got := lakeVersion(t, ts.URL); got != base+3 {
+		t.Fatalf("lake version = %d, want %d", got, base+3)
+	}
+
+	// The batch is applied when the response arrives: verify immediately.
+	resp, body = postJSON(t, ts.URL+"/v1/verify/claim", ClaimRequest{
+		ID:   "batch-live",
+		Text: "In 1971 open championship, the prize for lee trevino was 5500.",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify status = %d body = %s", resp.StatusCode, body)
+	}
+	var rep VerifyResponse
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != "Verified" {
+		t.Fatalf("verdict = %q against batch-ingested table, want Verified (body %s)", rep.Verdict, body)
+	}
+
+	// A wholly-duplicate batch signals failure through the status code.
+	resp, body = postJSON(t, ts.URL+"/v1/ingest/batch", IngestBatchRequest{Items: []IngestBatchItem{
+		{Type: "table", ID: "open1971", Caption: "dup again", Columns: []string{"a"}},
+	}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("all-duplicate batch status = %d body = %s, want 409", resp.StatusCode, body)
+	}
+
+	// Oversized batches are rejected before any prepare work.
+	huge := IngestBatchRequest{Items: make([]IngestBatchItem, maxBatchItems+1)}
+	for i := range huge.Items {
+		huge.Items[i] = IngestBatchItem{Type: "triple", Subject: "s", Predicate: "p", Object: fmt.Sprintf("o%d", i)}
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/ingest/batch", huge); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch status = %d, want 400", resp.StatusCode)
+	}
+
+	// Malformed batches are rejected whole with 400.
+	for _, req := range []IngestBatchRequest{
+		{},
+		{Items: []IngestBatchItem{{Type: "widget"}}},
+		{Items: []IngestBatchItem{{Type: "table", Caption: "no id", Columns: []string{"a"}}}},
+		{Items: []IngestBatchItem{{Type: "document", ID: "no-text"}}},
+		{Items: []IngestBatchItem{{Type: "triple", Subject: "s"}}},
+		{Items: []IngestBatchItem{{Type: "table", ID: "bad", Columns: []string{"a"}, Rows: [][]string{{"x", "y"}}}}},
+	} {
+		if resp, _ := postJSON(t, ts.URL+"/v1/ingest/batch", req); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("batch %+v: status = %d, want 400", req, resp.StatusCode)
+		}
+	}
+}
+
 // TestIngestDuringQueries drives concurrent ingest and verification traffic
 // through the HTTP layer; under -race this proves the server serves reads
 // during writes.

@@ -6,6 +6,7 @@
 //	POST /v1/ingest/table     {"id": "...", "caption": "...", "columns": [...], "rows": [[...]], "source_id": "..."}
 //	POST /v1/ingest/document  {"id": "...", "title": "...", "text": "...", "source_id": "..."}
 //	POST /v1/ingest/triple    {"subject": "...", "predicate": "...", "object": "...", "source_id": "..."}
+//	POST /v1/ingest/batch     {"items": [{"type": "table"|"document"|"triple", ...}, ...]}
 //	GET  /v1/lake/version     current monotonic lake version
 //	GET  /v1/stats            lake statistics
 //	GET  /v1/provenance?seq=N one lineage record
@@ -48,6 +49,7 @@ func New(p *core.Pipeline) *Server {
 	s.mux.HandleFunc("/v1/ingest/table", s.handleIngestTable)
 	s.mux.HandleFunc("/v1/ingest/document", s.handleIngestDocument)
 	s.mux.HandleFunc("/v1/ingest/triple", s.handleIngestTriple)
+	s.mux.HandleFunc("/v1/ingest/batch", s.handleIngestBatch)
 	s.mux.HandleFunc("/v1/lake/version", s.handleLakeVersion)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/provenance", s.handleProvenance)
@@ -141,6 +143,65 @@ type IngestResponse struct {
 	Version uint64 `json:"version"`
 }
 
+// IngestBatchItem is one mutation in POST /v1/ingest/batch. Type selects
+// the modality ("table", "document", or "triple") and which of the
+// remaining fields apply (the same fields as the per-modality endpoints).
+type IngestBatchItem struct {
+	Type string `json:"type"`
+	// Table fields.
+	ID      string     `json:"id,omitempty"`
+	Caption string     `json:"caption,omitempty"`
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	// Document fields (ID shared with tables).
+	Title string `json:"title,omitempty"`
+	Text  string `json:"text,omitempty"`
+	// Triple fields.
+	Subject   string `json:"subject,omitempty"`
+	Predicate string `json:"predicate,omitempty"`
+	Object    string `json:"object,omitempty"`
+	// SourceID applies to every modality.
+	SourceID string `json:"source_id,omitempty"`
+}
+
+// maxBatchItems caps one batch request: AddBatch materializes every item's
+// prepared payload (embeddings, term lists) before committing, so the cap
+// bounds per-request memory the same way the ingest queue bounds
+// queued-event memory. Larger loads split into multiple batches.
+const maxBatchItems = 1024
+
+// IngestBatchRequest is the body of POST /v1/ingest/batch.
+type IngestBatchRequest struct {
+	Items []IngestBatchItem `json:"items"`
+}
+
+// IngestBatchItemResult is one item's outcome in an IngestBatchResponse.
+type IngestBatchItemResult struct {
+	// Version is the lake version the item committed as; 0 means the item
+	// never committed (e.g. a duplicate ID). An item with both a version
+	// and an error committed to the catalog but failed indexing — do not
+	// retry it under the same ID.
+	Version uint64 `json:"version,omitempty"`
+	// Error explains a rejected or unindexed item.
+	Error string `json:"error,omitempty"`
+}
+
+// IngestBatchResponse summarizes a batch ingestion. The batch is applied
+// when the response arrives: every item with a version is retrievable.
+type IngestBatchResponse struct {
+	// Status is "ingested" when every item committed, "partial" when some
+	// did, "failed" when none did.
+	Status string `json:"status"`
+	// Ingested and Failed count the items.
+	Ingested int `json:"ingested"`
+	Failed   int `json:"failed"`
+	// Version is the highest lake version the batch committed (0 when
+	// nothing committed).
+	Version uint64 `json:"version"`
+	// Results reports per-item outcomes in request order.
+	Results []IngestBatchItemResult `json:"results"`
+}
+
 // --- handlers ---
 
 func (s *Server) handleVerifyClaim(w http.ResponseWriter, r *http.Request) {
@@ -217,6 +278,43 @@ func (s *Server) handleVerifyTuple(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toResponse(req.ID, report))
 }
 
+// buildTable, buildDocument, and buildTriple validate and construct the
+// lake values for the ingest endpoints; the single-item handlers and the
+// batch handler share them so their validation rules cannot diverge.
+func buildTable(id, caption string, columns []string, rows [][]string, sourceID string) (*table.Table, error) {
+	if id == "" {
+		return nil, fmt.Errorf("id is required")
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("columns must be non-empty")
+	}
+	t := table.New(id, caption, columns)
+	t.SourceID = sourceID
+	for i, row := range rows {
+		if err := t.AppendRow(row); err != nil {
+			return nil, fmt.Errorf("row %d: %v", i, err)
+		}
+	}
+	return t, nil
+}
+
+func buildDocument(id, title, text, sourceID string) (*doc.Document, error) {
+	if id == "" {
+		return nil, fmt.Errorf("id is required")
+	}
+	if text == "" {
+		return nil, fmt.Errorf("text is required")
+	}
+	return &doc.Document{ID: id, Title: title, Text: text, SourceID: sourceID}, nil
+}
+
+func buildTriple(subject, predicate, object, sourceID string) (*kg.Triple, error) {
+	if subject == "" || predicate == "" || object == "" {
+		return nil, fmt.Errorf("subject, predicate, and object are required")
+	}
+	return &kg.Triple{Subject: subject, Predicate: predicate, Object: object, SourceID: sourceID}, nil
+}
+
 func (s *Server) handleIngestTable(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
@@ -227,21 +325,10 @@ func (s *Server) handleIngestTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
 		return
 	}
-	if req.ID == "" {
-		writeError(w, http.StatusBadRequest, "id is required")
+	t, err := buildTable(req.ID, req.Caption, req.Columns, req.Rows, req.SourceID)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
-	}
-	if len(req.Columns) == 0 {
-		writeError(w, http.StatusBadRequest, "columns must be non-empty")
-		return
-	}
-	t := table.New(req.ID, req.Caption, req.Columns)
-	t.SourceID = req.SourceID
-	for i, row := range req.Rows {
-		if err := t.AppendRow(row); err != nil {
-			writeError(w, http.StatusBadRequest, "row %d: %v", i, err)
-			return
-		}
 	}
 	version, err := s.pipeline.Lake().AddTableVersioned(t)
 	s.ingest(w, version, err)
@@ -257,15 +344,11 @@ func (s *Server) handleIngestDocument(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
 		return
 	}
-	if req.ID == "" {
-		writeError(w, http.StatusBadRequest, "id is required")
+	d, err := buildDocument(req.ID, req.Title, req.Text, req.SourceID)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if req.Text == "" {
-		writeError(w, http.StatusBadRequest, "text is required")
-		return
-	}
-	d := &doc.Document{ID: req.ID, Title: req.Title, Text: req.Text, SourceID: req.SourceID}
 	version, err := s.pipeline.Lake().AddDocumentVersioned(d)
 	s.ingest(w, version, err)
 }
@@ -280,19 +363,103 @@ func (s *Server) handleIngestTriple(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
 		return
 	}
-	if req.Subject == "" || req.Predicate == "" || req.Object == "" {
-		writeError(w, http.StatusBadRequest, "subject, predicate, and object are required")
+	tr, err := buildTriple(req.Subject, req.Predicate, req.Object, req.SourceID)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	tr := kg.Triple{Subject: req.Subject, Predicate: req.Predicate, Object: req.Object, SourceID: req.SourceID}
-	version, err := s.pipeline.Lake().AddTripleVersioned(tr)
+	version, err := s.pipeline.Lake().AddTripleVersioned(*tr)
 	s.ingest(w, version, err)
 }
 
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req IngestBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "items must be non-empty")
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		writeError(w, http.StatusBadRequest, "batch exceeds %d items; split it", maxBatchItems)
+		return
+	}
+	items := make([]datalake.BatchItem, len(req.Items))
+	for i, it := range req.Items {
+		var err error
+		switch it.Type {
+		case "table":
+			items[i].Table, err = buildTable(it.ID, it.Caption, it.Columns, it.Rows, it.SourceID)
+		case "document":
+			items[i].Doc, err = buildDocument(it.ID, it.Title, it.Text, it.SourceID)
+		case "triple":
+			items[i].Triple, err = buildTriple(it.Subject, it.Predicate, it.Object, it.SourceID)
+		default:
+			err = fmt.Errorf("unknown type %q (want table|document|triple)", it.Type)
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "item %d: %v", i, err)
+			return
+		}
+	}
+	results, err := s.pipeline.Lake().AddBatch(items)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, datalake.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "ingest batch: %v", err)
+		return
+	}
+	resp := IngestBatchResponse{Results: make([]IngestBatchItemResult, len(results))}
+	allDup := true
+	for i, res := range results {
+		// Report the version even alongside an error: a committed item
+		// whose indexing failed must not look like a rejected one.
+		resp.Results[i].Version = res.Version
+		if res.Version > resp.Version {
+			resp.Version = res.Version
+		}
+		if res.Err != nil {
+			resp.Failed++
+			resp.Results[i].Error = res.Err.Error()
+			if !errors.Is(res.Err, datalake.ErrDuplicate) {
+				allDup = false
+			}
+			continue
+		}
+		resp.Ingested++
+	}
+	// Wholly failed batches signal through the status code like the
+	// single-item endpoints (409 when it's all duplicates), so clients
+	// keying on HTTP status don't mistake total rejection for success.
+	code := http.StatusOK
+	switch {
+	case resp.Failed == 0:
+		resp.Status = "ingested"
+	case resp.Ingested > 0:
+		resp.Status = "partial"
+	default:
+		resp.Status = "failed"
+		if allDup {
+			code = http.StatusConflict
+		} else {
+			code = http.StatusInternalServerError
+		}
+	}
+	writeJSON(w, code, resp)
+}
+
 // ingest finishes an ingest request: the mutation already ran, version/err
-// are its outcome. Incremental indexing runs synchronously inside the
-// lake's change notification, so a 200 response means the instance is
-// already retrievable.
+// are its outcome. The ingest call waits for the mutation's incremental
+// indexing (the pipelined apply stage) before returning, so a 200 response
+// means the instance is already retrievable.
 func (s *Server) ingest(w http.ResponseWriter, version uint64, err error) {
 	if err != nil {
 		status := http.StatusInternalServerError

@@ -101,3 +101,78 @@ func mustParse(t *testing.T, text string) Claim {
 	}
 	return c
 }
+
+// TestBatchIngestFlushClose checks the public pipelined batch API:
+// System.AddBatch commits a mixed batch that is verifiable when the call
+// returns, Flush reports the applied watermark, and Close rejects further
+// writes while keeping the system queryable.
+func TestBatchIngestFlushClose(t *testing.T) {
+	lake := caseLake(t)
+	sys, err := NewSystem(lake, noiseFreeOptions(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sys.LakeVersion()
+
+	tbl := NewTable("open1971", "1971 open championship", []string{"player", "prize"})
+	tbl.SourceID = "cases"
+	tbl.MustAppendRow("lee trevino", "5500")
+	results, err := sys.AddBatch([]BatchItem{
+		{Table: tbl},
+		{Doc: &Document{ID: "trevino-bio", Title: "Lee Trevino", SourceID: "cases",
+			Text: "Lee Trevino won the 1971 open championship."}},
+		{Triple: &Triple{Subject: "lee trevino", Predicate: "nickname", Object: "supermex", SourceID: "cases"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("batch item %d rejected: %v", i, res.Err)
+		}
+		if res.Version != base+uint64(i)+1 {
+			t.Fatalf("batch item %d version = %d, want %d", i, res.Version, base+uint64(i)+1)
+		}
+	}
+	if got := sys.LakeVersion(); got != base+3 {
+		t.Fatalf("lake version = %d after batch, want %d", got, base+3)
+	}
+
+	// Applied when AddBatch returns: verify immediately.
+	report, err := sys.VerifyClaimText("batch", "In 1971 open championship, the prize for lee trevino was 5500.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != Verified {
+		t.Fatalf("verdict = %v against batch-ingested table, want Verified", report.Verdict)
+	}
+
+	watermark, err := sys.Flush()
+	if err != nil {
+		t.Fatalf("Flush error: %v", err)
+	}
+	if watermark != base+3 {
+		t.Fatalf("Flush watermark = %d, want %d", watermark, base+3)
+	}
+
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close error: %v", err)
+	}
+	if err := sys.AddTable(NewTable("late", "late", []string{"a"})); err == nil {
+		t.Fatal("AddTable after Close succeeded, want error")
+	}
+	if _, err := sys.AddBatch([]BatchItem{{Doc: &Document{ID: "late-doc", Text: "x"}}}); err == nil {
+		t.Fatal("AddBatch after Close succeeded, want error")
+	}
+	// Still queryable on the final state.
+	report, err = sys.VerifyClaimText("post-close", "In 1971 open championship, the prize for lee trevino was 5500.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != Verified {
+		t.Fatalf("verdict = %v after Close, want Verified", report.Verdict)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("second Close error: %v", err)
+	}
+}
