@@ -10,6 +10,7 @@ package verifai
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -608,6 +609,55 @@ func BenchmarkBatchIngest(b *testing.B) {
 			b.StopTimer()
 			if elapsed > 0 {
 				b.ReportMetric(float64(docs)/elapsed.Seconds(), "docs/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkDurableIngest measures the write-ahead log's overhead: live
+// document-ingest throughput (docs/sec) through an in-memory system versus
+// a durable one at each sync policy. fsync=none and fsync=interval pay one
+// buffered write per commit and should stay within 2x of in-memory;
+// fsync=always pays a disk flush per commit and is the floor worth knowing
+// before choosing it.
+func BenchmarkDurableIngest(b *testing.B) {
+	for _, mode := range []string{"inmemory", "fsync=none", "fsync=interval", "fsync=always"} {
+		b.Run(mode, func(b *testing.B) {
+			var sys *System
+			var err error
+			if mode == "inmemory" {
+				lake := datalake.New()
+				icfg := core.DefaultIndexerConfig(1)
+				icfg.QueryCacheSize = 0
+				opts := DefaultOptions(1)
+				opts.Indexer = icfg
+				sys, err = NewSystem(lake, opts)
+			} else {
+				opts := DefaultOpenOptions(1)
+				opts.Indexer.QueryCacheSize = 0
+				opts.Sync = strings.TrimPrefix(mode, "fsync=")
+				sys, err = Open(b.TempDir(), opts)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				d := benchDoc(benchDocSeq.Add(1))
+				if err := sys.AddDocument(&Document{ID: d.ID, Title: d.Title, Text: d.Text}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := sys.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "docs/sec")
 			}
 		})
 	}

@@ -12,13 +12,21 @@
 //	verifai demo
 //	    run the paper's Figure 1 and Figure 4 cases on the built-in case lake
 //	verifai serve -lake DIR -addr :8080 [-shards N] [-ingest-queue N]
+//	              [-data-dir DIR] [-fsync always|interval|none]
+//	              [-checkpoint-every 5m]
 //	    serve the verification pipeline as an HTTP JSON API over the live
 //	    lake (reads keep being served while /v1/ingest/* writes arrive);
 //	    ingestion is pipelined — embedding runs outside the lake's write
 //	    lock and POST /v1/ingest/batch commits mixed batches under one
 //	    lock acquisition; -shards enables the sharded parallel
 //	    retrieval/applier layout, -ingest-queue bounds the in-flight
-//	    ingest event queue
+//	    ingest event queue. With -data-dir the lake is durable: every
+//	    acknowledged write lands in a write-ahead log before it commits,
+//	    checkpoints snapshot catalog+indexes (periodically with
+//	    -checkpoint-every, on demand via POST /v1/admin/checkpoint, and
+//	    at shutdown), and a restart recovers everything. -lake seeds an
+//	    empty data dir; SIGINT/SIGTERM drains connections, checkpoints,
+//	    and closes cleanly.
 //
 // The lake directory is produced by cmd/lakegen (or any tool writing the
 // lakeio layout). Add -exact=false to enable the calibrated error profiles
@@ -27,11 +35,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/genstore"
@@ -289,14 +301,173 @@ func runServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	shards := fs.Int("shards", 0, "index shards per kind and family (0 = unsharded)")
 	ingestQueue := fs.Int("ingest-queue", 0, "bound on the in-flight ingest event queue (0 = default 256)")
+	dataDir := fs.String("data-dir", "", "durable data directory (WAL + checkpoints); empty serves in-memory")
+	fsync := fs.String("fsync", "interval", "WAL sync policy: always|interval|none (with -data-dir)")
+	checkpointEvery := fs.Duration("checkpoint-every", 0, "periodic checkpoint cadence, e.g. 5m (0 = only on shutdown and POST /v1/admin/checkpoint)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sys, lake, err := buildSystem(*lakeDir, *seed, *exact, *shards, *ingestQueue)
+
+	var sys *verifai.System
+	var serverOpts []server.Option
+	if *dataDir != "" {
+		var err error
+		sys, err = openDurable(*dataDir, *lakeDir, *seed, *exact, *shards, *ingestQueue, *fsync)
+		if err != nil {
+			return err
+		}
+		serverOpts = append(serverOpts, server.WithDurability(
+			func() verifai.DurabilityStats { st, _ := sys.Durability(); return st },
+			sys.Checkpoint,
+		))
+	} else {
+		var err error
+		sys, _, err = buildSystem(*lakeDir, *seed, *exact, *shards, *ingestQueue)
+		if err != nil {
+			return err
+		}
+	}
+
+	lake := sys.Pipeline().Lake()
+	stats := lake.Stats()
+	fmt.Printf("serving %d tables / %d texts (lake version %d) on %s\n",
+		stats.Tables, stats.Docs, sys.LakeVersion(), *addr)
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
+	// drain in-flight requests, take a final checkpoint (durable mode),
+	// and close the system so no accepted write is lost.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: server.New(sys.Pipeline(), serverOpts...)}
+
+	if *dataDir != "" && *checkpointEvery > 0 {
+		go func() {
+			t := time.NewTicker(*checkpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if v, err := sys.Checkpoint(); err != nil {
+						log.Printf("periodic checkpoint failed: %v", err)
+					} else {
+						log.Printf("checkpointed at lake version %d", v)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		log.Print("signal received; draining connections")
+		shctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(shctx)
+	}()
+
+	err := srv.ListenAndServe()
+	if err != nil && err != http.ErrServerClosed {
+		sys.Close()
+		return err
+	}
+	if serr := <-shutdownErr; serr != nil {
+		log.Printf("shutdown: %v", serr)
+	}
+	if *dataDir != "" {
+		if v, cerr := sys.Checkpoint(); cerr != nil {
+			log.Printf("final checkpoint failed (WAL still has everything): %v", cerr)
+		} else {
+			log.Printf("final checkpoint at lake version %d", v)
+		}
+	}
+	return sys.Close()
+}
+
+// openDurable opens (or creates) the durable system under dataDir,
+// recovering any previous state. A -lake directory seeds an empty data
+// dir through the durable write path (so the seed data is itself logged
+// and checkpointed); a non-empty data dir ignores -lake, since its own
+// recovered state wins.
+func openDurable(dataDir, lakeDir string, seed uint64, exact bool, shards, ingestQueue int, fsync string) (*verifai.System, error) {
+	opts := verifai.DefaultOptions(seed)
+	if exact {
+		opts = verifai.ExactOptions(seed)
+	}
+	if shards > 0 {
+		opts.Indexer.Shards = shards
+	}
+	openOpts := verifai.OpenOptions{Options: opts, Sync: fsync}
+	if ingestQueue > 0 {
+		openOpts.LakeOptions = append(openOpts.LakeOptions, verifai.WithIngestQueue(ingestQueue))
+	}
+	sys, err := verifai.Open(dataDir, openOpts)
+	if err != nil {
+		return nil, err
+	}
+	if sys.LakeVersion() > 0 || lakeDir == "" {
+		if lakeDir != "" {
+			log.Printf("data dir %s already has state (lake version %d); ignoring -lake", dataDir, sys.LakeVersion())
+		} else {
+			log.Printf("recovered data dir %s at lake version %d", dataDir, sys.LakeVersion())
+		}
+		return sys, nil
+	}
+	if err := seedFromLake(sys, lakeDir); err != nil {
+		sys.Close()
+		return nil, fmt.Errorf("seed from -lake: %w", err)
+	}
+	if v, err := sys.Checkpoint(); err != nil {
+		log.Printf("post-seed checkpoint failed (WAL still has everything): %v", err)
+	} else {
+		log.Printf("seeded %s from %s and checkpointed at lake version %d", dataDir, lakeDir, v)
+	}
+	return sys, nil
+}
+
+// seedFromLake ingests a lakegen directory's contents through the durable
+// system's batched write path.
+func seedFromLake(sys *verifai.System, lakeDir string) error {
+	seedLake, err := lakeio.Load(lakeDir)
 	if err != nil {
 		return err
 	}
-	stats := lake.Stats()
-	fmt.Printf("serving %d tables / %d texts on %s\n", stats.Tables, stats.Docs, *addr)
-	return http.ListenAndServe(*addr, server.New(sys.Pipeline()))
+	defer seedLake.Close()
+	lake := sys.Pipeline().Lake()
+	for _, src := range seedLake.Sources() {
+		if err := lake.AddSource(src); err != nil {
+			return err
+		}
+	}
+	var items []verifai.BatchItem
+	for _, tid := range seedLake.TableIDs() {
+		t, ok := seedLake.Table(tid)
+		if !ok {
+			return fmt.Errorf("table %q vanished from seed lake", tid)
+		}
+		items = append(items, verifai.BatchItem{Table: t})
+	}
+	for _, did := range seedLake.DocIDs() {
+		d, ok := seedLake.Document(did)
+		if !ok {
+			return fmt.Errorf("document %q vanished from seed lake", did)
+		}
+		items = append(items, verifai.BatchItem{Doc: d})
+	}
+	for _, tr := range seedLake.Graph().Triples() {
+		tr := tr
+		items = append(items, verifai.BatchItem{Triple: &tr})
+	}
+	results, err := sys.AddBatch(items)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			return res.Err
+		}
+	}
+	return nil
 }

@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -31,11 +32,13 @@ const (
 	VectorLSH
 )
 
-// vectorIndex is the write+search interface all vecindex types satisfy.
+// vectorIndex is the write+search+persist interface all vecindex types
+// satisfy.
 type vectorIndex interface {
 	vecindex.Searcher
 	Add(id string, v embed.Vector) error
 	Remove(id string) bool
+	Save(w io.Writer) error
 }
 
 // IndexerConfig controls index construction.
@@ -137,10 +140,12 @@ type Indexer struct {
 	closeOnce sync.Once
 }
 
-// BuildIndexer indexes the lake's current instances per cfg and subscribes
-// to the lake's change feed for incremental maintenance: tables, documents,
-// and triples added to the lake afterwards are indexed as they arrive.
-func BuildIndexer(lake *datalake.Lake, cfg IndexerConfig) (*Indexer, error) {
+// newIndexer normalizes cfg and builds the indexer's empty structures —
+// the construction shared by BuildIndexer (which then bulk-indexes the
+// lake) and BuildIndexerFromSnapshot (which loads persisted shards). The
+// normalized config is written back through cfg so both paths fingerprint
+// identically.
+func newIndexer(lake *datalake.Lake, cfg *IndexerConfig) (*Indexer, error) {
 	if cfg.EmbedDim <= 0 {
 		cfg.EmbedDim = 64
 	}
@@ -157,7 +162,7 @@ func BuildIndexer(lake *datalake.Lake, cfg IndexerConfig) (*Indexer, error) {
 	ix := &Indexer{
 		lake:    lake,
 		emb:     embed.NewEmbedder(cfg.EmbedDim, cfg.Seed),
-		cfg:     cfg,
+		cfg:     *cfg,
 		bm25:    make(map[datalake.Kind][]*invindex.Index),
 		vec:     make(map[datalake.Kind][]vectorIndex),
 		qcache:  newQueryCache(cfg.QueryCacheSize),
@@ -182,6 +187,17 @@ func BuildIndexer(lake *datalake.Lake, cfg IndexerConfig) (*Indexer, error) {
 			}
 			ix.vec[kind] = shards
 		}
+	}
+	return ix, nil
+}
+
+// BuildIndexer indexes the lake's current instances per cfg and subscribes
+// to the lake's change feed for incremental maintenance: tables, documents,
+// and triples added to the lake afterwards are indexed as they arrive.
+func BuildIndexer(lake *datalake.Lake, cfg IndexerConfig) (*Indexer, error) {
+	ix, err := newIndexer(lake, &cfg)
+	if err != nil {
+		return nil, err
 	}
 	ix.startAppliers()
 	// Bulk-index the current lake contents and subscribe to the change feed

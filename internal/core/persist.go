@@ -1,0 +1,235 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datalake"
+	"repro/internal/invindex"
+	"repro/internal/vecindex"
+)
+
+// Index snapshots let a restarted process skip re-tokenizing and
+// re-embedding the whole lake: a checkpoint saves every shard of every
+// (kind, family) index, and recovery loads them back — valid only for the
+// exact lake version and indexer configuration they were built under, both
+// pinned in meta.json. A snapshot that does not match is simply not used
+// (the caller falls back to a bulk re-index), never partially applied.
+
+// snapshotFormat versions the snapshot layout itself.
+const snapshotFormat = 1
+
+// snapshotMeta pins what a snapshot is valid for.
+type snapshotMeta struct {
+	Format      int    `json:"format"`
+	LakeVersion uint64 `json:"lake_version"`
+	// Config is the canonical JSON of the producing IndexerConfig's
+	// layout-relevant fields; loading compares it byte-for-byte.
+	Config json.RawMessage `json:"config"`
+}
+
+// snapshotConfig is the layout-relevant subset of IndexerConfig. Runtime
+// tuning knobs (worker counts, cache sizes) are deliberately excluded: an
+// operator changing them must not invalidate snapshots.
+type snapshotConfig struct {
+	Seed         uint64          `json:"seed"`
+	EmbedDim     int             `json:"embed_dim"`
+	EnableBM25   bool            `json:"enable_bm25"`
+	EnableVector bool            `json:"enable_vector"`
+	Vector       VectorIndexKind `json:"vector"`
+	IVFLists     int             `json:"ivf_lists,omitempty"`
+	IVFProbes    int             `json:"ivf_probes,omitempty"`
+	LSHBits      int             `json:"lsh_bits,omitempty"`
+	LSHTables    int             `json:"lsh_tables,omitempty"`
+	Kinds        []datalake.Kind `json:"kinds"`
+	ChunkTokens  int             `json:"chunk_tokens"`
+	Shards       int             `json:"shards"`
+}
+
+// canonicalConfig serializes cfg's layout-relevant fields.
+func canonicalConfig(cfg IndexerConfig) ([]byte, error) {
+	sc := snapshotConfig{
+		Seed: cfg.Seed, EmbedDim: cfg.EmbedDim,
+		EnableBM25: cfg.EnableBM25, EnableVector: cfg.EnableVector, Vector: cfg.Vector,
+		Kinds: cfg.Kinds, ChunkTokens: cfg.ChunkTokens, Shards: cfg.Shards,
+	}
+	// Only the selected family's parameters pin the layout.
+	if cfg.EnableVector {
+		switch cfg.Vector {
+		case VectorIVF:
+			sc.IVFLists, sc.IVFProbes = cfg.IVFLists, cfg.IVFProbes
+		case VectorLSH:
+			sc.LSHBits, sc.LSHTables = cfg.LSHBits, cfg.LSHTables
+		}
+	}
+	return json.Marshal(sc)
+}
+
+func shardFile(dir, family string, kind datalake.Kind, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%s-%03d.idx", family, kind, shard))
+}
+
+// SaveSnapshot writes every index shard plus the pinning metadata to dir
+// (created if needed). Call it only while the lake is quiesced at
+// lakeVersion (e.g. inside datalake.Quiesce), or concurrent ingest will
+// tear the shard files against each other.
+func (ix *Indexer) SaveSnapshot(dir string, lakeVersion uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: snapshot mkdir: %w", err)
+	}
+	save := func(path string, fn func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("core: create snapshot file: %w", err)
+		}
+		err = fn(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("core: write %s: %w", filepath.Base(path), err)
+		}
+		return nil
+	}
+	for kind, shards := range ix.bm25 {
+		for si, sh := range shards {
+			if err := save(shardFile(dir, familyBM25, kind, si), func(f *os.File) error { return sh.Save(f) }); err != nil {
+				return err
+			}
+		}
+	}
+	for kind, shards := range ix.vec {
+		for si, sh := range shards {
+			if err := save(shardFile(dir, familyVector, kind, si), func(f *os.File) error { return sh.Save(f) }); err != nil {
+				return err
+			}
+		}
+	}
+	cc, err := canonicalConfig(ix.cfg)
+	if err != nil {
+		return fmt.Errorf("core: snapshot config: %w", err)
+	}
+	meta, err := json.MarshalIndent(snapshotMeta{Format: snapshotFormat, LakeVersion: lakeVersion, Config: cc}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: snapshot meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), meta, 0o644); err != nil {
+		return fmt.Errorf("core: write snapshot meta: %w", err)
+	}
+	return nil
+}
+
+// ErrSnapshotMismatch reports a snapshot that is missing or was built for
+// a different lake version or indexer configuration — not corruption, just
+// "rebuild instead".
+var ErrSnapshotMismatch = fmt.Errorf("core: index snapshot missing or stale")
+
+// BuildIndexerFromSnapshot is BuildIndexer loading the index contents from
+// a SaveSnapshot directory instead of re-indexing the lake. The snapshot
+// must match cfg and the lake's current version exactly (both checked with
+// the lake quiesced); on any mismatch it returns ErrSnapshotMismatch
+// (wrap-checked with errors.Is) and the caller falls back to BuildIndexer.
+func BuildIndexerFromSnapshot(lake *datalake.Lake, cfg IndexerConfig, dir string) (*Indexer, error) {
+	ix, err := newIndexer(lake, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, fmt.Errorf("%w (no meta.json: %v)", ErrSnapshotMismatch, err)
+	}
+	var meta snapshotMeta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return nil, fmt.Errorf("%w (unreadable meta.json: %v)", ErrSnapshotMismatch, err)
+	}
+	cc, err := canonicalConfig(ix.cfg)
+	if err != nil {
+		return nil, err
+	}
+	// MarshalIndent re-indented the embedded raw config; compact it back
+	// before the byte comparison.
+	var stored bytes.Buffer
+	if err := json.Compact(&stored, meta.Config); err != nil {
+		return nil, fmt.Errorf("%w (unreadable config fingerprint: %v)", ErrSnapshotMismatch, err)
+	}
+	if meta.Format != snapshotFormat || stored.String() != string(cc) {
+		return nil, fmt.Errorf("%w (configuration changed)", ErrSnapshotMismatch)
+	}
+
+	ix.startAppliers()
+	unsubscribe, err := lake.SubscribeSync(func() error {
+		// Version check inside the quiesced init: nothing can commit
+		// between the check, the load, and the subscription.
+		if v := lake.Version(); v != meta.LakeVersion {
+			return fmt.Errorf("%w (snapshot at lake version %d, lake at %d)", ErrSnapshotMismatch, meta.LakeVersion, v)
+		}
+		return ix.loadSnapshotShards(dir)
+	}, datalake.Subscriber{Prepare: ix.prepareHook, Apply: ix.apply})
+	if err != nil {
+		ix.stopAppliers()
+		return nil, err
+	}
+	ix.unsubscribe = unsubscribe
+	return ix, nil
+}
+
+// loadSnapshotShards replaces the indexer's empty shard structures with
+// the snapshot's contents.
+func (ix *Indexer) loadSnapshotShards(dir string) error {
+	load := func(path string, fn func(f *os.File) error) error {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("%w (missing shard file %s)", ErrSnapshotMismatch, filepath.Base(path))
+		}
+		err = fn(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	for kind, shards := range ix.bm25 {
+		for si := range shards {
+			err := load(shardFile(dir, familyBM25, kind, si), func(f *os.File) error {
+				loaded, err := invindex.Load(f)
+				if err != nil {
+					return err
+				}
+				shards[si] = loaded
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	for kind, shards := range ix.vec {
+		for si := range shards {
+			err := load(shardFile(dir, familyVector, kind, si), func(f *os.File) error {
+				var loaded vectorIndex
+				var err error
+				switch ix.cfg.Vector {
+				case VectorFlat:
+					loaded, err = vecindex.LoadFlat(f)
+				case VectorIVF:
+					loaded, err = vecindex.LoadIVF(f)
+				case VectorLSH:
+					loaded, err = vecindex.LoadLSH(f)
+				default:
+					return fmt.Errorf("core: unknown vector index kind %d", int(ix.cfg.Vector))
+				}
+				if err != nil {
+					return err
+				}
+				shards[si] = loaded
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

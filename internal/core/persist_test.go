@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/datalake"
+	"repro/internal/doc"
+	"repro/internal/kg"
+	"repro/internal/table"
+)
+
+// buildPersistLake returns a lake with a few instances of every modality.
+func buildPersistLake(t *testing.T) *datalake.Lake {
+	t.Helper()
+	lake := datalake.New()
+	t.Cleanup(func() { lake.Close() })
+	if err := lake.AddSource(datalake.Source{ID: "s", Name: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		tbl := table.New(fmt.Sprintf("t%d", i), fmt.Sprintf("league season %d results", i), []string{"player", "score"})
+		tbl.MustAppendRow(fmt.Sprintf("alice %d", i), fmt.Sprintf("%d", 10+i))
+		tbl.MustAppendRow(fmt.Sprintf("bob %d", i), fmt.Sprintf("%d", 20+i))
+		tbl.SourceID = "s"
+		if err := lake.AddTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+		d := &doc.Document{ID: fmt.Sprintf("d%d", i), Title: fmt.Sprintf("season %d report", i),
+			Text: fmt.Sprintf("the season %d championship was decided by a narrow margin", i), SourceID: "s"}
+		if err := lake.AddDocument(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := lake.AddTriple(kg.Triple{Subject: fmt.Sprintf("player%d", i), Predicate: "plays_in", Object: "league", SourceID: "s"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return lake
+}
+
+// TestIndexerSnapshotRoundTrip saves a snapshot and rebuilds an indexer
+// from it, asserting retrieval is identical across every vector family.
+func TestIndexerSnapshotRoundTrip(t *testing.T) {
+	for _, vk := range []VectorIndexKind{VectorFlat, VectorIVF, VectorLSH} {
+		t.Run(fmt.Sprintf("vector=%d", int(vk)), func(t *testing.T) {
+			lake := buildPersistLake(t)
+			cfg := DefaultIndexerConfig(7)
+			cfg.Vector = vk
+			cfg.IVFLists = 4
+			cfg.IVFProbes = 2
+			cfg.Shards = 2
+			ix, err := BuildIndexer(lake, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ix.Close()
+
+			dir := t.TempDir()
+			var v uint64
+			if err := lake.Quiesce(func(version uint64) error {
+				v = version
+				return ix.SaveSnapshot(dir, version)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if v == 0 {
+				t.Fatal("quiesced version is 0")
+			}
+
+			loaded, err := BuildIndexerFromSnapshot(lake, cfg, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer loaded.Close()
+
+			for _, query := range []string{"season 2 championship", "alice score", "player1 league"} {
+				_, a := ix.Retrieve(query, 10)
+				_, b := loaded.Retrieve(query, 10)
+				if len(a) != len(b) {
+					t.Fatalf("query %q: candidate counts differ (%d vs %d)\n%v\n%v", query, len(a), len(b), a, b)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Errorf("query %q candidate %d drifted: %s vs %s", query, i, a[i], b[i])
+					}
+				}
+			}
+
+			// The snapshot-built indexer is live: new ingests are indexed.
+			d := &doc.Document{ID: "fresh", Title: "fresh doc", Text: "completely fresh zanzibar content", SourceID: "s"}
+			if err := lake.AddDocument(d); err != nil {
+				t.Fatal(err)
+			}
+			_, got := loaded.Retrieve("zanzibar", 5, datalake.KindText)
+			if len(got) == 0 || got[0] != "text:fresh" {
+				t.Fatalf("snapshot-built indexer did not index live ingest: %v", got)
+			}
+		})
+	}
+}
+
+// TestSnapshotMismatch checks stale or misconfigured snapshots are
+// refused with ErrSnapshotMismatch instead of silently half-loading.
+func TestSnapshotMismatch(t *testing.T) {
+	lake := buildPersistLake(t)
+	cfg := DefaultIndexerConfig(7)
+	ix, err := BuildIndexer(lake, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	dir := t.TempDir()
+	if err := lake.Quiesce(func(v uint64) error { return ix.SaveSnapshot(dir, v) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different layout-relevant configuration.
+	other := cfg
+	other.Shards = 3
+	if _, err := BuildIndexerFromSnapshot(lake, other, dir); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("config mismatch error = %v, want ErrSnapshotMismatch", err)
+	}
+
+	// Lake moved past the snapshot.
+	if err := lake.AddDocument(&doc.Document{ID: "extra", Text: "x", SourceID: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildIndexerFromSnapshot(lake, cfg, dir); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("stale snapshot error = %v, want ErrSnapshotMismatch", err)
+	}
+
+	// Missing directory.
+	if _, err := BuildIndexerFromSnapshot(lake, cfg, t.TempDir()); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("missing snapshot error = %v, want ErrSnapshotMismatch", err)
+	}
+
+	// Runtime tuning knobs must NOT invalidate the snapshot — rebuild the
+	// lake state the snapshot was taken at to prove it.
+	lake2 := buildPersistLake(t)
+	ix2, err := BuildIndexer(lake2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix2.Close()
+	dir2 := t.TempDir()
+	if err := lake2.Quiesce(func(v uint64) error { return ix2.SaveSnapshot(dir2, v) }); err != nil {
+		t.Fatal(err)
+	}
+	tuned := cfg
+	tuned.QueryCacheSize = 1
+	tuned.RetrieveWorkers = 2
+	loaded, err := BuildIndexerFromSnapshot(lake2, tuned, dir2)
+	if err != nil {
+		t.Fatalf("tuning-only change refused the snapshot: %v", err)
+	}
+	loaded.Close()
+}

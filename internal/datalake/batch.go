@@ -103,22 +103,49 @@ func (l *Lake) AddBatch(items []BatchItem) ([]BatchItemResult, error) {
 	}
 
 	// Stage 3: one write-lock acquisition commits every valid item and
-	// enqueues its event; versions are contiguous in slice order.
+	// enqueues its event; versions are contiguous in slice order. Staging
+	// assigns versions without touching the catalog, the durable hook (if
+	// any) persists the whole section with one append+sync, and only then
+	// do the mutations materialize — a hook failure rolls the entire
+	// section back with the staged versions released.
 	l.writeMu.Lock()
 	if l.closed {
 		l.writeMu.Unlock()
 		return results, ErrClosed
 	}
 	committed := make([]uint64, len(items))
-	l.mu.Lock()
+	staged := make([]int, 0, len(items))
+	st := newStaging()
+	l.mu.RLock()
+	next := l.version + 1
 	for i := range items {
 		if results[i].Err != nil {
 			continue
 		}
-		if err := l.commitItemLocked(&evs[i]); err != nil {
+		if err := l.stageLocked(&evs[i], next, st); err != nil {
 			results[i].Err = err
 			continue
 		}
+		staged = append(staged, i)
+		next++
+	}
+	l.mu.RUnlock()
+	if l.commitHook != nil && len(staged) > 0 {
+		hookEvs := make([]Event, len(staged))
+		for n, i := range staged {
+			hookEvs[n] = evs[i]
+		}
+		if err := l.commitHook(hookEvs); err != nil {
+			for _, i := range staged {
+				results[i].Err = err
+			}
+			l.writeMu.Unlock()
+			return results, nil
+		}
+	}
+	l.mu.Lock()
+	for _, i := range staged {
+		l.materializeLocked(&evs[i])
 		committed[i] = evs[i].Version
 		results[i].Version = evs[i].Version
 	}

@@ -143,6 +143,20 @@ type ChangeHook func(Event) error
 // subscriber. An error aborts the ingest before anything commits.
 type PrepareFunc func(Event) (any, error)
 
+// CommitHook observes each commit section's mutations durably, before they
+// take effect. It runs under the write lock with the section's staged
+// events — versions assigned, catalog not yet mutated, nothing enqueued —
+// so a durability layer (the write-ahead log) can persist them first. An
+// error aborts the whole section: no catalog change, no event delivery,
+// and the staged versions are released for the next commit. The hook must
+// not call back into the lake.
+type CommitHook func(evs []Event) error
+
+// SourceHook observes source registrations the same way (sources are not
+// versioned mutations, but a durable lake must persist them too). An error
+// aborts the registration.
+type SourceHook func(Source) error
+
 // ApplyFunc is a subscriber's asynchronous application stage. It is invoked
 // on the dispatcher goroutine in version order and must call done exactly
 // once — possibly from another goroutine — when the event has been fully
@@ -209,6 +223,11 @@ type Lake struct {
 	// code and no derivation work runs under it. Always acquired before mu.
 	writeMu sync.Mutex
 	closed  bool // guarded by writeMu
+	// commitHook / sourceHook are the durability hooks (guarded by
+	// writeMu). The commit hook runs under writeMu but outside mu, so a
+	// slow fsync stalls writers, never readers.
+	commitHook CommitHook
+	sourceHook SourceHook
 
 	// hooksMu guards the subscriber list; it is never held while acquiring
 	// writeMu or mu, and the dispatcher holds it (shared) for the duration
@@ -293,14 +312,80 @@ func New(opts ...Option) *Lake {
 }
 
 // AddSource registers (or overwrites) a source description. A zero
-// TrustPrior is normalized to 0.5.
-func (l *Lake) AddSource(s Source) {
+// TrustPrior is normalized to 0.5. The returned error only ever comes from
+// a durability (source) hook rejecting the registration; lakes without a
+// hook always succeed.
+func (l *Lake) AddSource(s Source) error {
 	if s.TrustPrior == 0 {
 		s.TrustPrior = 0.5
+	}
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	if l.sourceHook != nil {
+		if err := l.sourceHook(s); err != nil {
+			return err
+		}
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.sources[s.ID] = s
+	return nil
+}
+
+// SetCommitHook installs (or, with nil, removes) the durable commit hook.
+// Install it before the writes it must cover; a recovery path replaying a
+// log installs it only after replay, so replayed mutations are not
+// re-logged.
+func (l *Lake) SetCommitHook(h CommitHook) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.commitHook = h
+}
+
+// SetSourceHook installs (or removes) the durable source hook.
+func (l *Lake) SetSourceHook(h SourceHook) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.sourceHook = h
+}
+
+// Quiesce runs fn with the lake quiesced: the write lock is held and every
+// committed mutation fully applied, so no mutation can commit — and none
+// can still be applying — while fn runs. version is the lake's current
+// (catalog) version. fn may read the lake but must not mutate it (that
+// would deadlock). Checkpoints use this to capture a consistent snapshot.
+func (l *Lake) Quiesce(fn func(version uint64) error) error {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.mu.Lock()
+	for l.processed < l.version {
+		l.cond.Wait()
+	}
+	v := l.version
+	l.mu.Unlock()
+	return fn(v)
+}
+
+// FastForwardVersion advances the lake's version counter to v without
+// committing mutations. Recovery uses it after bulk-loading a checkpoint:
+// the reloaded catalog re-committed as versions 1..n, but the write-ahead
+// log's tail continues from the pre-crash version, so the counter must
+// jump there for replayed (and future) mutations to reuse their original
+// version numbers. It requires an idle lake (nothing in flight) and a
+// target at or past the current version.
+func (l *Lake) FastForwardVersion(v uint64) error {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.processed != l.version {
+		return fmt.Errorf("datalake: fast-forward with mutations in flight (processed %d < version %d)", l.processed, l.version)
+	}
+	if v < l.version {
+		return fmt.Errorf("datalake: fast-forward target %d behind current version %d", v, l.version)
+	}
+	l.version, l.processed, l.published = v, v, v
+	return nil
 }
 
 // Source returns the source metadata for id; ok is false when unknown.
@@ -364,23 +449,23 @@ func (l *Lake) OnChangeSync(init func() error, h ChangeHook) (unsubscribe func()
 
 // SubscribeSync is OnChangeSync for a two-stage Subscriber.
 func (l *Lake) SubscribeSync(init func() error, s Subscriber) (unsubscribe func(), err error) {
-	l.writeMu.Lock()
-	defer l.writeMu.Unlock()
-	// Drain: every committed event has been applied before init snapshots
+	// Quiesce: every committed event has been applied before init snapshots
 	// the catalog, so nothing is both snapshotted and later delivered.
-	l.mu.Lock()
-	for l.processed < l.version {
-		l.cond.Wait()
-	}
-	l.mu.Unlock()
-	if init != nil {
-		if err := init(); err != nil {
-			return nil, err
+	err = l.Quiesce(func(uint64) error {
+		if init != nil {
+			if err := init(); err != nil {
+				return err
+			}
 		}
+		l.hooksMu.Lock()
+		defer l.hooksMu.Unlock()
+		unsubscribe = l.subscribeLocked(s)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	l.hooksMu.Lock()
-	defer l.hooksMu.Unlock()
-	return l.subscribeLocked(s), nil
+	return unsubscribe, nil
 }
 
 // subscribeLocked appends the subscriber and builds its unsubscribe
@@ -647,54 +732,100 @@ func (l *Lake) prepare(ev Event) (map[int]any, error) {
 	return payloads, nil
 }
 
-// commitItemLocked performs one validated event's catalog mutation,
-// assigns its version, and registers the ingest caller as the claimant of
-// the version's application error — before anything can complete it, so a
-// concurrent Flush cannot steal the error the caller must return. It is
-// the single commit implementation shared by the per-item adds and
-// AddBatch. Caller holds writeMu and mu.
-func (l *Lake) commitItemLocked(ev *Event) error {
+// staging tracks IDs claimed earlier in the same commit section, so a
+// batch with two items sharing an ID rejects the second even though the
+// catalog maps are not mutated until the whole section is durable.
+type staging struct {
+	tables map[string]struct{}
+	docs   map[string]struct{}
+}
+
+func newStaging() *staging {
+	return &staging{tables: make(map[string]struct{}), docs: make(map[string]struct{})}
+}
+
+// stageLocked validates one candidate event against the catalog (and the
+// section's earlier staged items) and assigns it the given version. The
+// catalog itself is untouched: staging must be abortable, because the
+// durable commit hook runs between staging and materialization and its
+// error rolls the whole section back. Caller holds writeMu and mu (read).
+func (l *Lake) stageLocked(ev *Event, version uint64, st *staging) error {
 	switch ev.Kind {
 	case KindTable:
-		t := ev.Table
-		if _, dup := l.tables[t.ID]; dup {
-			return fmt.Errorf("datalake: duplicate table id %q: %w", t.ID, ErrDuplicate)
+		id := ev.Table.ID
+		_, dup := l.tables[id]
+		if !dup {
+			_, dup = st.tables[id]
 		}
-		l.tables[t.ID] = t
-		l.tableIDs = append(l.tableIDs, t.ID)
+		if dup {
+			return fmt.Errorf("datalake: duplicate table id %q: %w", id, ErrDuplicate)
+		}
+		st.tables[id] = struct{}{}
 	case KindText:
-		d := ev.Doc
-		if _, dup := l.docs[d.ID]; dup {
-			return fmt.Errorf("datalake: duplicate document id %q: %w", d.ID, ErrDuplicate)
+		id := ev.Doc.ID
+		_, dup := l.docs[id]
+		if !dup {
+			_, dup = st.docs[id]
 		}
-		l.docs[d.ID] = d
-		l.docIDs = append(l.docIDs, d.ID)
+		if dup {
+			return fmt.Errorf("datalake: duplicate document id %q: %w", id, ErrDuplicate)
+		}
+		st.docs[id] = struct{}{}
 	case KindEntity:
-		l.graph.Add(*ev.Triple)
+		// The graph accepts every triple.
 	default:
 		return fmt.Errorf("datalake: unhandled event kind %v", ev.Kind)
 	}
-	l.version++
-	ev.Version = l.version
-	l.waiting[ev.Version]++
+	ev.Version = version
 	return nil
 }
 
-// commit runs the commit stage for one event under the write lock (which
-// spans only the catalog mutation, version assignment, and enqueue).
+// materializeLocked performs one staged event's catalog mutation, advances
+// the version counter to the event's pre-assigned version, and registers
+// the ingest caller as the claimant of the version's application error —
+// before anything can complete it, so a concurrent Flush cannot steal the
+// error the caller must return. Caller holds writeMu and mu.
+func (l *Lake) materializeLocked(ev *Event) {
+	switch ev.Kind {
+	case KindTable:
+		l.tables[ev.Table.ID] = ev.Table
+		l.tableIDs = append(l.tableIDs, ev.Table.ID)
+	case KindText:
+		l.docs[ev.Doc.ID] = ev.Doc
+		l.docIDs = append(l.docIDs, ev.Doc.ID)
+	case KindEntity:
+		l.graph.Add(*ev.Triple)
+	}
+	l.version = ev.Version
+	l.waiting[ev.Version]++
+}
+
+// commit runs the commit stage for one event under the write lock: stage
+// (validate + assign version), durable hook, materialize, enqueue. The
+// hook runs without mu so readers stay unblocked during an fsync; writeMu
+// keeps the staged version reserved meanwhile.
 func (l *Lake) commit(payloads map[int]any, ev Event) (uint64, error) {
 	l.writeMu.Lock()
 	if l.closed {
 		l.writeMu.Unlock()
 		return 0, ErrClosed
 	}
-	l.mu.Lock()
-	err := l.commitItemLocked(&ev)
-	l.mu.Unlock()
+	l.mu.RLock()
+	err := l.stageLocked(&ev, l.version+1, newStaging())
+	l.mu.RUnlock()
 	if err != nil {
 		l.writeMu.Unlock()
 		return 0, err
 	}
+	if l.commitHook != nil {
+		if err := l.commitHook([]Event{ev}); err != nil {
+			l.writeMu.Unlock()
+			return 0, err
+		}
+	}
+	l.mu.Lock()
+	l.materializeLocked(&ev)
+	l.mu.Unlock()
 	// Enqueue under writeMu so queue order is version order; a full queue
 	// blocks writers here (backpressure), never readers.
 	l.events <- queuedEvent{ev: ev, payloads: payloads}

@@ -1,0 +1,432 @@
+// Package durable makes a data lake survive process restarts. It ties
+// three pieces together around one data directory:
+//
+//	<dir>/wal/             write-ahead log segments (internal/wal)
+//	<dir>/checkpoint/      latest checkpoint: lakeio catalog layout
+//	                       (manifest.json, tables/, texts/), META.json
+//	                       (checkpoint version), and indexes/ (the
+//	                       indexer's persisted shards)
+//	<dir>/checkpoint.old/  previous checkpoint, kept only mid-swap
+//
+// The commit protocol: every lake mutation is appended to the WAL by the
+// lake's commit hook — under the write lock, after version assignment,
+// before the catalog mutates or the event publishes — so an acknowledged
+// write is always reconstructible. A checkpoint quiesces the lake, saves
+// the catalog (lakeio.Save) and index state, atomically swaps it in, then
+// rotates the WAL and deletes sealed segments the checkpoint covers.
+//
+// Recovery (Open) is the reverse: load the latest valid checkpoint, fast-
+// forward the lake's version counter to the checkpoint version, and hand
+// the WAL tail (records past the checkpoint) to the caller, who replays it
+// through the normal AddBatch path once the indexer is subscribed — so
+// indexes rebuild through exactly the code live ingestion uses. A torn
+// final WAL record (a crash mid-append, necessarily unacknowledged) is
+// dropped; corruption anywhere else fails recovery loudly.
+//
+// The directory must be owned by one process at a time; nothing here
+// implements cross-process locking.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/datalake"
+	"repro/internal/lakeio"
+	"repro/internal/wal"
+)
+
+// Options configure a durable store.
+type Options struct {
+	// Sync is the WAL sync policy (default wal.SyncInterval).
+	Sync wal.SyncPolicy
+	// SyncInterval is the fsync period under wal.SyncInterval; <= 0 means
+	// the wal package default (100ms).
+	SyncInterval time.Duration
+	// SegmentBytes is the WAL segment rotation threshold; <= 0 means the
+	// wal package default (16 MiB).
+	SegmentBytes int64
+	// LakeOptions configure the recovered lake (e.g. the ingest queue).
+	LakeOptions []datalake.Option
+}
+
+// metaFile is the checkpoint's validity marker; a checkpoint directory
+// without a readable one is ignored (e.g. a crash mid-write).
+const metaFile = "META.json"
+
+// checkpointMeta is the checkpoint's pinning metadata.
+type checkpointMeta struct {
+	// Format versions the layout.
+	Format int `json:"format"`
+	// Version is the lake version the checkpoint captured.
+	Version uint64 `json:"version"`
+	// CreatedUnix is the checkpoint wall-clock time (informational).
+	CreatedUnix int64 `json:"created_unix"`
+}
+
+// Stats describes the store for operational surfaces.
+type Stats struct {
+	Dir               string `json:"data_dir"`
+	SyncPolicy        string `json:"sync_policy"`
+	CheckpointVersion uint64 `json:"checkpoint_version"`
+	// LastCheckpointUnix is 0 until a checkpoint happens in this process.
+	LastCheckpointUnix int64 `json:"last_checkpoint_unix,omitempty"`
+	WALSegments        int   `json:"wal_segments"`
+	WALBytes           int64 `json:"wal_bytes"`
+	WALRecords         int   `json:"wal_records"`
+	// WALTornBytes counts torn-tail bytes dropped at recovery.
+	WALTornBytes int64 `json:"wal_torn_bytes,omitempty"`
+	// ReplayedRecords counts WAL records replayed at recovery.
+	ReplayedRecords int `json:"replayed_records"`
+}
+
+// Store is an open durable lake: the recovered lake plus its WAL. Create
+// one with Open; the sequence is Open → (build indexer over Lake()) →
+// ReplayTail → Arm → serve. Checkpoint and Close are safe to call
+// concurrently with lake traffic.
+type Store struct {
+	dir  string
+	opts Options
+	lake *datalake.Lake
+	log  *wal.Log
+
+	mu             sync.Mutex
+	ckptVersion    uint64
+	lastCheckpoint time.Time
+	tail           []wal.Record
+	replayed       int
+	armed          bool
+	closed         bool
+}
+
+func (s *Store) walDir() string        { return filepath.Join(s.dir, "wal") }
+func (s *Store) checkpointDir() string { return filepath.Join(s.dir, "checkpoint") }
+
+// IndexSnapshotDir is where the current checkpoint keeps the indexer's
+// persisted shards (it may not exist — e.g. before the first checkpoint).
+func (s *Store) IndexSnapshotDir() string { return filepath.Join(s.checkpointDir(), "indexes") }
+
+// Lake returns the recovered lake.
+func (s *Store) Lake() *datalake.Lake { return s.lake }
+
+// CheckpointVersion returns the lake version of the checkpoint the store
+// recovered from (or last wrote); 0 before any checkpoint.
+func (s *Store) CheckpointVersion() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckptVersion
+}
+
+// Open recovers a durable lake from dir, creating the layout on first use.
+// The returned store holds the WAL tail in memory; call ReplayTail after
+// subscribing the indexer, then Arm to begin logging new writes.
+func Open(dir string, opts Options) (_ *Store, err error) {
+	s := &Store{dir: dir, opts: opts}
+	for _, sub := range []string{"", "wal"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("durable: mkdir: %w", err)
+		}
+	}
+	meta, err := s.resolveCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	if meta != nil {
+		lake, err := lakeio.Load(s.checkpointDir(), opts.LakeOptions...)
+		if err != nil {
+			return nil, fmt.Errorf("durable: load checkpoint: %w", err)
+		}
+		s.lake = lake
+		s.ckptVersion = meta.Version
+		if err := lake.FastForwardVersion(meta.Version); err != nil {
+			lake.Close()
+			return nil, fmt.Errorf("durable: checkpoint at version %d behind its own catalog: %w", meta.Version, err)
+		}
+	} else {
+		s.lake = datalake.New(opts.LakeOptions...)
+	}
+	defer func() {
+		if err != nil {
+			_ = s.lake.Close()
+		}
+	}()
+
+	// Scan the WAL, keeping records the checkpoint does not cover. Source
+	// records are kept unconditionally: re-registering a source is an
+	// idempotent overwrite, and the WAL's order preserves the last write.
+	log, err := wal.Open(s.walDir(), wal.Options{
+		Sync: opts.Sync, Interval: opts.SyncInterval, SegmentBytes: opts.SegmentBytes,
+	}, func(rec wal.Record) error {
+		if rec.Kind == wal.KindSource || rec.Version > s.ckptVersion {
+			s.tail = append(s.tail, rec)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("durable: open wal: %w", err)
+	}
+	s.log = log
+	return s, nil
+}
+
+// resolveCheckpoint picks the newest valid checkpoint, finishing an
+// interrupted swap: a valid checkpoint/ wins; otherwise a valid
+// checkpoint.old/ is moved back into place; otherwise there is none.
+func (s *Store) resolveCheckpoint() (*checkpointMeta, error) {
+	cur := s.checkpointDir()
+	old := cur + ".old"
+	if meta, err := readCheckpointMeta(cur); err != nil {
+		return nil, err
+	} else if meta != nil {
+		// Leftover .old from a swap that crashed before cleanup.
+		if err := os.RemoveAll(old); err != nil {
+			return nil, fmt.Errorf("durable: remove stale checkpoint.old: %w", err)
+		}
+		return meta, nil
+	}
+	meta, err := readCheckpointMeta(old)
+	if err != nil {
+		return nil, err
+	}
+	if meta == nil {
+		return nil, nil
+	}
+	// The swap crashed between moving the old checkpoint away and moving
+	// the new one in: restore the old one.
+	if err := os.RemoveAll(cur); err != nil {
+		return nil, fmt.Errorf("durable: remove invalid checkpoint: %w", err)
+	}
+	if err := os.Rename(old, cur); err != nil {
+		return nil, fmt.Errorf("durable: restore checkpoint.old: %w", err)
+	}
+	return meta, nil
+}
+
+// ReplayTail applies the WAL tail through the lake's normal write path —
+// AddBatch for event records (so any subscribed indexer maintains itself
+// through the same code as live ingestion), AddSource for source records —
+// and verifies every replayed mutation recommits as its original version.
+func (s *Store) ReplayTail() error {
+	s.mu.Lock()
+	tail := s.tail
+	s.tail = nil
+	s.mu.Unlock()
+
+	// Group contiguous event records into batches, applying source
+	// records at their position to preserve WAL order.
+	var pending []wal.Record
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		items := make([]datalake.BatchItem, len(pending))
+		for i, rec := range pending {
+			items[i] = datalake.BatchItem{Table: rec.Table, Doc: rec.Doc, Triple: rec.Triple}
+		}
+		results, err := s.lake.AddBatch(items)
+		if err != nil {
+			return fmt.Errorf("durable: replay batch: %w", err)
+		}
+		for i, res := range results {
+			if res.Err != nil {
+				return fmt.Errorf("durable: replay record (version %d): %w", pending[i].Version, res.Err)
+			}
+			if res.Version != pending[i].Version {
+				return fmt.Errorf("durable: replay drift: record logged as version %d recommitted as %d", pending[i].Version, res.Version)
+			}
+		}
+		pending = pending[:0]
+		return nil
+	}
+	for _, rec := range tail {
+		if rec.Kind == wal.KindSource {
+			if err := flush(); err != nil {
+				return err
+			}
+			if rec.Source == nil {
+				return fmt.Errorf("durable: source record without source payload")
+			}
+			if err := s.lake.AddSource(*rec.Source); err != nil {
+				return fmt.Errorf("durable: replay source %q: %w", rec.Source.ID, err)
+			}
+			continue
+		}
+		pending = append(pending, rec)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.replayed = len(tail)
+	s.mu.Unlock()
+	return nil
+}
+
+// Arm installs the durability hooks on the lake: from here on, every
+// mutation (and source registration) is WAL-appended before it commits.
+// Call it after ReplayTail, or replayed records would be logged twice.
+func (s *Store) Arm() {
+	s.lake.SetCommitHook(func(evs []datalake.Event) error {
+		recs := make([]wal.Record, len(evs))
+		for i, ev := range evs {
+			rec, err := wal.FromEvent(ev)
+			if err != nil {
+				return err
+			}
+			recs[i] = rec
+		}
+		return s.log.Append(recs...)
+	})
+	s.lake.SetSourceHook(func(src datalake.Source) error {
+		// Stamp the source with the current published version so segment
+		// truncation accounting stays uniform; replay applies source
+		// records regardless of the stamp.
+		return s.log.Append(wal.Record{Version: s.lake.Version(), Kind: wal.KindSource, Source: &src})
+	})
+	s.mu.Lock()
+	s.armed = true
+	s.mu.Unlock()
+}
+
+// Checkpoint captures a consistent snapshot: with the lake quiesced it
+// saves the catalog (and, via saveIndexes, the index state) into a
+// temporary directory, atomically swaps it in as the current checkpoint,
+// then rotates the WAL and deletes the sealed segments the checkpoint
+// covers. saveIndexes receives the checkpoint directory being built and
+// the checkpoint version; nil skips index snapshotting. Returns the
+// checkpoint's lake version.
+//
+// Ingestion blocks for the duration (reads keep being served); callers
+// pick a cadence accordingly.
+func (s *Store) Checkpoint(saveIndexes func(dir string, version uint64) error) (uint64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("durable: store closed")
+	}
+	s.mu.Unlock()
+
+	var version uint64
+	err := s.lake.Quiesce(func(v uint64) error {
+		version = v
+		tmp := s.checkpointDir() + ".tmp"
+		if err := os.RemoveAll(tmp); err != nil {
+			return fmt.Errorf("durable: clear checkpoint.tmp: %w", err)
+		}
+		if err := lakeio.Save(s.lake, tmp); err != nil {
+			return fmt.Errorf("durable: save catalog: %w", err)
+		}
+		if saveIndexes != nil {
+			if err := saveIndexes(tmp, v); err != nil {
+				return fmt.Errorf("durable: save indexes: %w", err)
+			}
+		}
+		if err := writeCheckpointMeta(tmp, checkpointMeta{Format: 1, Version: v, CreatedUnix: time.Now().Unix()}); err != nil {
+			return err
+		}
+		// Durability ordering: the WAL segments this checkpoint covers are
+		// deleted below, so the checkpoint itself must be on stable
+		// storage first — every file and directory of the tree, then the
+		// renames that promote it (fsync of the parent directory). Skip
+		// any of these and a power loss after truncation loses
+		// acknowledged writes that only the (now deleted) WAL held.
+		if err := syncTree(tmp); err != nil {
+			return fmt.Errorf("durable: sync checkpoint tree: %w", err)
+		}
+		if err := s.swapCheckpoint(tmp); err != nil {
+			return err
+		}
+		if err := syncDir(s.dir); err != nil {
+			return fmt.Errorf("durable: sync data dir: %w", err)
+		}
+		if err := s.log.Rotate(); err != nil {
+			return err
+		}
+		if err := s.log.TruncateThrough(v); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.ckptVersion = version
+	s.lastCheckpoint = time.Now()
+	s.mu.Unlock()
+	return version, nil
+}
+
+// swapCheckpoint promotes tmp to the current checkpoint. The window where
+// neither directory holds a valid checkpoint is the instant between the
+// two renames; resolveCheckpoint repairs either crash point.
+func (s *Store) swapCheckpoint(tmp string) error {
+	cur := s.checkpointDir()
+	old := cur + ".old"
+	if err := os.RemoveAll(old); err != nil {
+		return fmt.Errorf("durable: clear checkpoint.old: %w", err)
+	}
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, old); err != nil {
+			return fmt.Errorf("durable: retire checkpoint: %w", err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("durable: stat checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, cur); err != nil {
+		return fmt.Errorf("durable: promote checkpoint: %w", err)
+	}
+	if err := os.RemoveAll(old); err != nil {
+		return fmt.Errorf("durable: remove retired checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Sync forces an fsync of the WAL (useful before handing the directory to
+// another process in tests; normal operation relies on the sync policy).
+func (s *Store) Sync() error { return s.log.Sync() }
+
+// Stats reports the store's durability posture.
+func (s *Store) Stats() Stats {
+	ls := s.log.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Dir:               s.dir,
+		SyncPolicy:        s.opts.Sync.String(),
+		CheckpointVersion: s.ckptVersion,
+		WALSegments:       ls.Segments,
+		WALBytes:          ls.Bytes,
+		WALRecords:        ls.Records,
+		WALTornBytes:      ls.TornBytes,
+		ReplayedRecords:   s.replayed,
+	}
+	if !s.lastCheckpoint.IsZero() {
+		st.LastCheckpointUnix = s.lastCheckpoint.Unix()
+	}
+	return st
+}
+
+// Close detaches the durability hooks and closes the WAL (final fsync
+// included). It does not close the lake — the caller owns that — but must
+// be called after the lake stops accepting writes, or late writes would
+// commit without being logged. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	armed := s.armed
+	s.mu.Unlock()
+	if armed {
+		s.lake.SetCommitHook(nil)
+		s.lake.SetSourceHook(nil)
+	}
+	return s.log.Close()
+}

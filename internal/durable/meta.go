@@ -1,0 +1,68 @@
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// readCheckpointMeta returns the checkpoint metadata under dir, nil when
+// the directory (or its meta file) is absent or unreadable — an absent or
+// half-written checkpoint is "no checkpoint", not an error; only an
+// unreadable filesystem is.
+func readCheckpointMeta(dir string) (*checkpointMeta, error) {
+	data, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: read checkpoint meta: %w", err)
+	}
+	var meta checkpointMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		// A torn meta write means the checkpoint never completed; the WAL
+		// still has everything since the previous one.
+		return nil, nil
+	}
+	return &meta, nil
+}
+
+// writeCheckpointMeta writes the validity marker last: a checkpoint
+// directory is only real once its meta file parses.
+func writeCheckpointMeta(dir string, meta checkpointMeta) error {
+	data, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("durable: marshal checkpoint meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFile), data, 0o644); err != nil {
+		return fmt.Errorf("durable: write checkpoint meta: %w", err)
+	}
+	return nil
+}
+
+// syncTree fsyncs every file and directory under root (root included), so
+// a completed checkpoint survives power loss, not just process death.
+func syncTree(root string) error {
+	return filepath.Walk(root, func(path string, _ os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		return syncDir(path)
+	})
+}
+
+// syncDir fsyncs one file or directory by path. Directory fsync persists
+// the entries (renames, creates) inside it.
+func syncDir(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	if cerr := f.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	verifai "repro"
+	"repro/internal/workload"
+)
+
+// newClosedServer builds the case-lake server and then closes its system,
+// emulating the shutdown window where HTTP requests still arrive.
+func newClosedServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	lake := verifai.NewLake()
+	if err := lake.AddSource(verifai.Source{ID: workload.CaseSource, Name: "cases", TrustPrior: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lake.AddTable(workload.USOpen1954Table()); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := verifai.NewSystem(lake, verifai.ExactOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(sys.Pipeline()))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestIngestAfterCloseReturns503 checks every single-item ingest endpoint
+// maps datalake.ErrClosed to 503 Service Unavailable.
+func TestIngestAfterCloseReturns503(t *testing.T) {
+	ts := newClosedServer(t)
+	cases := []struct {
+		path string
+		body interface{}
+	}{
+		{"/v1/ingest/table", IngestTableRequest{ID: "late", Caption: "c", Columns: []string{"a"}, Rows: [][]string{{"1"}}}},
+		{"/v1/ingest/document", IngestDocumentRequest{ID: "late", Text: "x"}},
+		{"/v1/ingest/triple", IngestTripleRequest{Subject: "s", Predicate: "p", Object: "o"}},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("POST %s after close: status = %d body = %s, want 503", tc.path, resp.StatusCode, body)
+		}
+	}
+	// Reads keep working on the final state.
+	var stats map[string]any
+	if resp := getJSON(t, ts.URL+"/v1/stats", &stats); resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /v1/stats after close: status = %d", resp.StatusCode)
+	}
+}
+
+// TestIngestBatchAfterCloseReturns503 checks the batch endpoint's
+// batch-level ErrClosed also maps to 503.
+func TestIngestBatchAfterCloseReturns503(t *testing.T) {
+	ts := newClosedServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/ingest/batch", IngestBatchRequest{
+		Items: []IngestBatchItem{
+			{Type: "document", ID: "late1", Text: "x"},
+			{Type: "triple", Subject: "s", Predicate: "p", Object: "o"},
+		},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("batch after close: status = %d body = %s, want 503", resp.StatusCode, body)
+	}
+}
+
+// TestCheckpointEndpointWithoutDataDir checks in-memory deployments 404
+// the admin endpoint.
+func TestCheckpointEndpointWithoutDataDir(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/v1/admin/checkpoint", struct{}{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("checkpoint without durability: status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDurableServerSurfaces spins a durable system behind the server and
+// checks POST /v1/admin/checkpoint and the durability section of
+// GET /v1/stats — the wiring cmd/verifai serve uses.
+func TestDurableServerSurfaces(t *testing.T) {
+	sys, err := verifai.Open(filepath.Join(t.TempDir(), "data"), verifai.OpenOptions{
+		Options: verifai.ExactOptions(1), Sync: "none",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	srv := New(sys.Pipeline(), WithDurability(
+		func() verifai.DurabilityStats { st, _ := sys.Durability(); return st },
+		sys.Checkpoint,
+	))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp, _ := postJSON(t, ts.URL+"/v1/ingest/document", IngestDocumentRequest{ID: "d1", Text: "hello durable world"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status = %d", resp.StatusCode)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/admin/checkpoint", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: status = %d body = %s", resp.StatusCode, body)
+	}
+	var ack CheckpointResponse
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Status != "checkpointed" || ack.Version != 1 {
+		t.Errorf("checkpoint ack = %+v, want checkpointed at version 1", ack)
+	}
+
+	var stats struct {
+		Texts      int                     `json:"texts"`
+		Durability verifai.DurabilityStats `json:"durability"`
+	}
+	if resp := getJSON(t, ts.URL+"/v1/stats", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status = %d", resp.StatusCode)
+	}
+	if stats.Texts != 1 {
+		t.Errorf("stats.texts = %d, want 1", stats.Texts)
+	}
+	if stats.Durability.SyncPolicy != "none" || stats.Durability.CheckpointVersion != 1 {
+		t.Errorf("stats.durability = %+v", stats.Durability)
+	}
+
+	if resp, _ := postJSON(t, ts.URL+"/v1/admin/checkpoint", struct{}{}); resp.StatusCode != http.StatusOK {
+		t.Errorf("second checkpoint: status = %d", resp.StatusCode)
+	}
+	// GET is not allowed on the admin endpoint.
+	httpResp, err := http.Get(ts.URL + "/v1/admin/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET checkpoint: status = %d, want 405", httpResp.StatusCode)
+	}
+}

@@ -7,8 +7,9 @@
 //	POST /v1/ingest/document  {"id": "...", "title": "...", "text": "...", "source_id": "..."}
 //	POST /v1/ingest/triple    {"subject": "...", "predicate": "...", "object": "...", "source_id": "..."}
 //	POST /v1/ingest/batch     {"items": [{"type": "table"|"document"|"triple", ...}, ...]}
+//	POST /v1/admin/checkpoint durable checkpoint (404 on in-memory deployments)
 //	GET  /v1/lake/version     current monotonic lake version
-//	GET  /v1/stats            lake statistics
+//	GET  /v1/stats            lake statistics (+ durability posture when durable)
 //	GET  /v1/provenance?seq=N one lineage record
 //	GET  /v1/healthz          liveness
 //
@@ -16,7 +17,8 @@
 // instances incrementally, so the server keeps serving verification reads
 // during writes. Responses are flat JSON documents (no internal types
 // leak); errors use RFC-7807-ish {"error": "..."} bodies with conventional
-// status codes (409 for duplicate ingest IDs).
+// status codes (409 for duplicate ingest IDs, 503 for writes after the
+// system began shutting down).
 package server
 
 import (
@@ -30,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datalake"
 	"repro/internal/doc"
+	"repro/internal/durable"
 	"repro/internal/kg"
 	"repro/internal/table"
 	"repro/internal/verify"
@@ -39,17 +42,38 @@ import (
 type Server struct {
 	pipeline *core.Pipeline
 	mux      *http.ServeMux
+	// durStats / checkpoint are set by WithDurability on durable
+	// deployments; nil otherwise.
+	durStats   func() durable.Stats
+	checkpoint func() (uint64, error)
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithDurability wires a durable deployment's surfaces in: stats feeds the
+// durability section of GET /v1/stats, checkpoint backs
+// POST /v1/admin/checkpoint.
+func WithDurability(stats func() durable.Stats, checkpoint func() (uint64, error)) Option {
+	return func(s *Server) {
+		s.durStats = stats
+		s.checkpoint = checkpoint
+	}
 }
 
 // New returns a server over the given pipeline.
-func New(p *core.Pipeline) *Server {
+func New(p *core.Pipeline, opts ...Option) *Server {
 	s := &Server{pipeline: p, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("/v1/verify/claim", s.handleVerifyClaim)
 	s.mux.HandleFunc("/v1/verify/tuple", s.handleVerifyTuple)
 	s.mux.HandleFunc("/v1/ingest/table", s.handleIngestTable)
 	s.mux.HandleFunc("/v1/ingest/document", s.handleIngestDocument)
 	s.mux.HandleFunc("/v1/ingest/triple", s.handleIngestTriple)
 	s.mux.HandleFunc("/v1/ingest/batch", s.handleIngestBatch)
+	s.mux.HandleFunc("/v1/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("/v1/lake/version", s.handleLakeVersion)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/provenance", s.handleProvenance)
@@ -459,17 +483,45 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 // ingest finishes an ingest request: the mutation already ran, version/err
 // are its outcome. The ingest call waits for the mutation's incremental
 // indexing (the pipelined apply stage) before returning, so a 200 response
-// means the instance is already retrievable.
+// means the instance is already retrievable. A closed lake (the system is
+// shutting down) maps to 503 so load balancers retry elsewhere.
 func (s *Server) ingest(w http.ResponseWriter, version uint64, err error) {
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, datalake.ErrDuplicate) {
+		switch {
+		case errors.Is(err, datalake.ErrDuplicate):
 			status = http.StatusConflict
+		case errors.Is(err, datalake.ErrClosed):
+			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, "ingest: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, IngestResponse{Status: "ingested", Version: version})
+}
+
+// CheckpointResponse acknowledges POST /v1/admin/checkpoint.
+type CheckpointResponse struct {
+	Status string `json:"status"`
+	// Version is the lake version the checkpoint captured.
+	Version uint64 `json:"version"`
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.checkpoint == nil {
+		writeError(w, http.StatusNotFound, "this deployment has no data directory (run serve with -data-dir)")
+		return
+	}
+	version, err := s.checkpoint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{Status: "checkpointed", Version: version})
 }
 
 func (s *Server) handleLakeVersion(w http.ResponseWriter, r *http.Request) {
@@ -486,14 +538,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	stats := s.pipeline.Lake().Stats()
-	writeJSON(w, http.StatusOK, map[string]int{
+	body := map[string]any{
 		"tables":   stats.Tables,
 		"tuples":   stats.Tuples,
 		"texts":    stats.Docs,
 		"triples":  stats.Triples,
 		"entities": stats.Entities,
 		"sources":  stats.Sources,
-	})
+	}
+	if s.durStats != nil {
+		body["durability"] = s.durStats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {

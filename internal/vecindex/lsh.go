@@ -21,6 +21,9 @@ type LSH struct {
 	dim     int
 	nbits   int
 	ntables int
+	// seed is kept so a snapshot can reconstruct the identical hyperplane
+	// family (see persist.go).
+	seed uint64
 
 	planes [][]embed.Vector // table -> bit -> hyperplane normal
 	tables []map[uint64][]int
@@ -34,7 +37,7 @@ func NewLSH(dim, nbits, ntables int, seed uint64) *LSH {
 		panic("vecindex: invalid LSH parameters")
 	}
 	ix := &LSH{
-		dim: dim, nbits: nbits, ntables: ntables,
+		dim: dim, nbits: nbits, ntables: ntables, seed: seed,
 		planes: make([][]embed.Vector, ntables),
 		tables: make([]map[uint64][]int, ntables),
 		store:  newStore(),

@@ -50,17 +50,188 @@ func LoadFlat(r io.Reader) (*Flat, error) {
 	if snap.Dim <= 0 {
 		return nil, fmt.Errorf("vecindex: snapshot has invalid dimension %d", snap.Dim)
 	}
-	if len(snap.IDs) != len(snap.Vecs) {
-		return nil, fmt.Errorf("vecindex: snapshot id/vector count mismatch (%d vs %d)", len(snap.IDs), len(snap.Vecs))
+	if err := checkVectors(snap.IDs, snap.Vecs, snap.Dim); err != nil {
+		return nil, err
 	}
 	f := NewFlat(snap.Dim, Metric(snap.Metric))
 	for i, id := range snap.IDs {
-		if len(snap.Vecs[i]) != snap.Dim {
-			return nil, fmt.Errorf("vecindex: snapshot vector %d has dim %d, want %d", i, len(snap.Vecs[i]), snap.Dim)
-		}
 		if err := f.Add(id, embed.Vector(snap.Vecs[i])); err != nil {
 			return nil, err
 		}
 	}
 	return f, nil
+}
+
+// checkVectors validates the shared id/vector section of a snapshot.
+func checkVectors(ids []string, vecs [][]float32, dim int) error {
+	if len(ids) != len(vecs) {
+		return fmt.Errorf("vecindex: snapshot id/vector count mismatch (%d vs %d)", len(ids), len(vecs))
+	}
+	for i, v := range vecs {
+		if len(v) != dim {
+			return fmt.Errorf("vecindex: snapshot vector %d has dim %d, want %d", i, len(v), dim)
+		}
+	}
+	return nil
+}
+
+// ivfSnapshot is the serialized form of an IVF index (Faiss write_index
+// for IndexIVFFlat). Cell assignments are stored explicitly rather than
+// recomputed at load: k-means may terminate with assignments one E-step
+// behind the final centroids, so "assign to nearest centroid on load"
+// would silently shuffle vectors across cells and change probe results.
+type ivfSnapshot struct {
+	Metric int
+	Dim    int
+	NList  int
+	NProbe int
+	Seed   uint64
+
+	Trained   bool
+	Centroids [][]float32
+	IDs       []string
+	Vecs      [][]float32
+	// Cells[i] is the cell of Vecs[i]; empty when untrained.
+	Cells []int32
+}
+
+// Save writes the index to w using encoding/gob. Tombstoned vectors are
+// compacted away; cell assignments are preserved exactly.
+func (ix *IVF) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	snap := ivfSnapshot{
+		Metric: int(ix.metric), Dim: ix.dim, NList: ix.nlist, NProbe: ix.nprobe, Seed: ix.seed,
+		Trained: ix.trained,
+		IDs:     make([]string, 0, ix.live),
+		Vecs:    make([][]float32, 0, ix.live),
+	}
+	for _, c := range ix.centroids {
+		snap.Centroids = append(snap.Centroids, c)
+	}
+	// remap[ord] is the compacted index of live ordinal ord.
+	remap := make(map[int]int, ix.live)
+	for ord, v := range ix.vecs {
+		if ix.deleted[ord] {
+			continue
+		}
+		remap[ord] = len(snap.IDs)
+		snap.IDs = append(snap.IDs, ix.ids[ord])
+		snap.Vecs = append(snap.Vecs, v)
+	}
+	if ix.trained {
+		snap.Cells = make([]int32, len(snap.IDs))
+		for ci, cell := range ix.cells {
+			for _, ord := range cell {
+				if i, ok := remap[ord]; ok {
+					snap.Cells[i] = int32(ci)
+				}
+			}
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("vecindex: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadIVF reads a snapshot produced by IVF.Save, restoring the trained
+// centroids and exact cell assignments.
+func LoadIVF(r io.Reader) (*IVF, error) {
+	var snap ivfSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("vecindex: decode snapshot: %w", err)
+	}
+	if snap.Dim <= 0 || snap.NList <= 0 || snap.NProbe <= 0 {
+		return nil, fmt.Errorf("vecindex: IVF snapshot has invalid parameters (dim=%d nlist=%d nprobe=%d)", snap.Dim, snap.NList, snap.NProbe)
+	}
+	if err := checkVectors(snap.IDs, snap.Vecs, snap.Dim); err != nil {
+		return nil, err
+	}
+	ix := NewIVF(snap.Dim, Metric(snap.Metric), snap.NList, snap.NProbe, snap.Seed)
+	if snap.Trained {
+		if len(snap.Cells) != len(snap.IDs) {
+			return nil, fmt.Errorf("vecindex: IVF snapshot cell/vector count mismatch (%d vs %d)", len(snap.Cells), len(snap.IDs))
+		}
+		ix.trained = true
+		ix.centroids = make([]embed.Vector, len(snap.Centroids))
+		for i, c := range snap.Centroids {
+			if len(c) != snap.Dim {
+				return nil, fmt.Errorf("vecindex: IVF snapshot centroid %d has dim %d, want %d", i, len(c), snap.Dim)
+			}
+			ix.centroids[i] = c
+		}
+		ix.cells = make([][]int, len(snap.Centroids))
+	}
+	for i, id := range snap.IDs {
+		ord, err := ix.addLocked(id, embed.Vector(snap.Vecs[i]))
+		if err != nil {
+			return nil, err
+		}
+		if snap.Trained {
+			ci := int(snap.Cells[i])
+			if ci < 0 || ci >= len(ix.cells) {
+				return nil, fmt.Errorf("vecindex: IVF snapshot vector %d references unknown cell %d", i, ci)
+			}
+			ix.cells[ci] = append(ix.cells[ci], ord)
+		}
+	}
+	return ix, nil
+}
+
+// lshSnapshot is the serialized form of an LSH index. The hyperplane
+// family is a pure function of (dim, nbits, ntables, seed), so only the
+// parameters and live vectors are stored; load re-hashes each vector into
+// identical buckets.
+type lshSnapshot struct {
+	Dim     int
+	NBits   int
+	NTables int
+	Seed    uint64
+	IDs     []string
+	Vecs    [][]float32
+}
+
+// Save writes the index to w using encoding/gob. Tombstoned vectors are
+// compacted away.
+func (ix *LSH) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	snap := lshSnapshot{
+		Dim: ix.dim, NBits: ix.nbits, NTables: ix.ntables, Seed: ix.seed,
+		IDs:  make([]string, 0, ix.live),
+		Vecs: make([][]float32, 0, ix.live),
+	}
+	for ord, v := range ix.vecs {
+		if ix.deleted[ord] {
+			continue
+		}
+		snap.IDs = append(snap.IDs, ix.ids[ord])
+		snap.Vecs = append(snap.Vecs, v)
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("vecindex: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadLSH reads a snapshot produced by LSH.Save.
+func LoadLSH(r io.Reader) (*LSH, error) {
+	var snap lshSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("vecindex: decode snapshot: %w", err)
+	}
+	if snap.Dim <= 0 || snap.NBits <= 0 || snap.NBits > 64 || snap.NTables <= 0 {
+		return nil, fmt.Errorf("vecindex: LSH snapshot has invalid parameters (dim=%d nbits=%d ntables=%d)", snap.Dim, snap.NBits, snap.NTables)
+	}
+	if err := checkVectors(snap.IDs, snap.Vecs, snap.Dim); err != nil {
+		return nil, err
+	}
+	ix := NewLSH(snap.Dim, snap.NBits, snap.NTables, snap.Seed)
+	for i, id := range snap.IDs {
+		if err := ix.Add(id, embed.Vector(snap.Vecs[i])); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
 }

@@ -1,0 +1,108 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/datalake"
+	"repro/internal/doc"
+	"repro/internal/kg"
+	"repro/internal/table"
+)
+
+// Record kinds. Event records (table, document, triple) carry the lake
+// version their mutation committed as; source records carry the lake
+// version current when the source was registered (sources are not
+// versioned mutations, the stamp only places them for segment truncation).
+const (
+	KindTable    = "table"
+	KindDocument = "document"
+	KindTriple   = "triple"
+	KindSource   = "source"
+)
+
+// Record is one durable lake mutation. Exactly one of Table, Doc, Triple,
+// or Source is populated according to Kind. The payload is JSON: records
+// must stay debuggable with standard tools (`jq` over extracted payloads),
+// and the lake's values are plain exported structs.
+type Record struct {
+	Version uint64           `json:"v"`
+	Kind    string           `json:"kind"`
+	Table   *table.Table     `json:"table,omitempty"`
+	Doc     *doc.Document    `json:"doc,omitempty"`
+	Triple  *kg.Triple       `json:"triple,omitempty"`
+	Source  *datalake.Source `json:"source,omitempty"`
+}
+
+// FromEvent converts a committed lake event into its WAL record.
+func FromEvent(ev datalake.Event) (Record, error) {
+	switch ev.Kind {
+	case datalake.KindTable:
+		return Record{Version: ev.Version, Kind: KindTable, Table: ev.Table}, nil
+	case datalake.KindText:
+		return Record{Version: ev.Version, Kind: KindDocument, Doc: ev.Doc}, nil
+	case datalake.KindEntity:
+		return Record{Version: ev.Version, Kind: KindTriple, Triple: ev.Triple}, nil
+	default:
+		return Record{}, fmt.Errorf("wal: unloggable event kind %v", ev.Kind)
+	}
+}
+
+// frame layout: 4-byte little-endian payload length, 4-byte little-endian
+// CRC-32C (Castagnoli) of the payload, then the JSON payload. The CRC
+// detects bit rot and mid-log corruption; a torn (partially written) final
+// frame is detected by the length outrunning the remaining bytes.
+const frameHeaderSize = 8
+
+// maxRecordSize bounds one record's payload. A frame header is written
+// atomically ahead of its payload, so a length beyond this bound can only
+// come from corruption, never from a torn append — replay fails loudly on
+// it instead of attempting a giant allocation.
+const maxRecordSize = 1 << 30
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame encodes one record onto buf.
+func appendFrame(buf *bytes.Buffer, rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("wal: encode record: %w", err)
+	}
+	if len(payload) > maxRecordSize {
+		return fmt.Errorf("wal: record payload %d bytes exceeds %d", len(payload), maxRecordSize)
+	}
+	var header [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(payload, crcTable))
+	buf.Write(header[:])
+	buf.Write(payload)
+	return nil
+}
+
+// decodeFrame decodes the frame starting at data[off]. It returns the
+// record and the offset just past the frame. torn reports that the frame
+// is incomplete (the tail of a partial append); err reports corruption.
+func decodeFrame(data []byte, off int) (rec Record, next int, torn bool, err error) {
+	if len(data)-off < frameHeaderSize {
+		return Record{}, off, true, nil
+	}
+	n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	if n > maxRecordSize {
+		return Record{}, off, false, fmt.Errorf("wal: frame at offset %d declares %d payload bytes (corrupt length)", off, n)
+	}
+	if len(data)-off-frameHeaderSize < n {
+		return Record{}, off, true, nil
+	}
+	payload := data[off+frameHeaderSize : off+frameHeaderSize+n]
+	if got := crc32.Checksum(payload, crcTable); got != sum {
+		return Record{}, off, false, fmt.Errorf("wal: frame at offset %d fails CRC (stored %08x, computed %08x)", off, sum, got)
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, off, false, fmt.Errorf("wal: frame at offset %d has undecodable payload: %w", off, err)
+	}
+	return rec, off + frameHeaderSize + n, false, nil
+}

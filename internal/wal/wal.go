@@ -1,0 +1,489 @@
+// Package wal implements the lake's write-ahead log: an append-only,
+// length-prefixed, CRC-checksummed record log split into rotating segment
+// files. The lake's commit section appends every mutation before it
+// becomes visible, so a process restart replays the log (from the latest
+// checkpoint) and loses no acknowledged write.
+//
+// Layout: <dir>/wal-<seq>.log, seq ascending. The highest-numbered segment
+// is active (appended to); lower ones are sealed. A checkpoint rotates the
+// active segment and deletes sealed segments whose records it covers.
+//
+// Durability is governed by the sync policy: SyncAlways fsyncs after every
+// append (each acknowledged write survives power loss), SyncInterval
+// fsyncs on a timer (a crash loses at most the last interval; process
+// crashes alone lose nothing, the OS still has the pages), SyncNone leaves
+// flushing to the OS. Replay tolerates a torn tail — a partial final
+// record is dropped and the file truncated back to the last complete
+// record — but fails loudly on mid-log corruption, which indicates real
+// data loss rather than an interrupted append.
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs on a background timer (the default).
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append.
+	SyncAlways
+	// SyncNone never fsyncs explicitly (OS page cache decides).
+	SyncNone
+)
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy maps the flag spelling ("always", "interval", "none")
+// onto a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval", "":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (want always|interval|none)", s)
+	}
+}
+
+// Options configure a log.
+type Options struct {
+	// Sync is the sync policy (default SyncInterval).
+	Sync SyncPolicy
+	// Interval is the SyncInterval fsync period; <= 0 means 100ms.
+	Interval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size;
+	// <= 0 means 16 MiB.
+	SegmentBytes int64
+}
+
+const (
+	defaultInterval     = 100 * time.Millisecond
+	defaultSegmentBytes = 16 << 20
+	segmentPrefix       = "wal-"
+	segmentSuffix       = ".log"
+)
+
+// segment is one log file's bookkeeping.
+type segment struct {
+	seq     int
+	path    string
+	bytes   int64
+	records int
+	// maxVersion is the highest event version in the segment (0 when it
+	// holds no event records), used to decide checkpoint truncation.
+	maxVersion uint64
+}
+
+// Stats summarizes the log for operational surfaces (/v1/stats).
+type Stats struct {
+	// Segments counts log files (sealed + active).
+	Segments int
+	// Bytes is the total size of all segments.
+	Bytes int64
+	// Records counts records across all segments.
+	Records int
+	// LastVersion is the highest event version ever appended or replayed.
+	LastVersion uint64
+	// TornBytes counts bytes dropped from the tail at open (a partial
+	// final record from an interrupted append).
+	TornBytes int64
+}
+
+// Log is an open write-ahead log. Append, Sync, Rotate, TruncateThrough,
+// and Stats are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	segs   []segment
+	active *os.File
+	dirty  bool
+	// sticky records an append failure that could not be rolled back
+	// (truncate failed); every subsequent append refuses with it, so the
+	// log never silently diverges from what replay will reconstruct.
+	sticky      error
+	lastVersion uint64
+	tornBytes   int64
+	closed      bool
+
+	stop     chan struct{}
+	syncDone chan struct{}
+}
+
+// Open opens (or creates) the log in dir and replays every record through
+// fn in append order. A torn final record is dropped and the file
+// truncated; corruption anywhere else fails loudly. fn returning an error
+// aborts the open. After Open returns, the log is positioned to append.
+func Open(dir string, opts Options, fn func(Record) error) (*Log, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = defaultInterval
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, seq := range seqs {
+		if err := l.replaySegment(seq, i == len(seqs)-1, fn); err != nil {
+			return nil, err
+		}
+	}
+	if len(l.segs) == 0 {
+		if err := l.openSegment(1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := &l.segs[len(l.segs)-1]
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open active segment: %w", err)
+		}
+		l.active = f
+	}
+	if opts.Sync == SyncInterval {
+		l.stop = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// listSegments returns the segment sequence numbers in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		seq, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix))
+		if err != nil {
+			return nil, fmt.Errorf("wal: unparseable segment name %q", name)
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+func segmentPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", segmentPrefix, seq, segmentSuffix))
+}
+
+// replaySegment reads one segment, delivering records to fn. In the last
+// (active) segment a torn tail is truncated away; anywhere else it is an
+// error, as is any CRC or decode failure.
+func (l *Log) replaySegment(seq int, last bool, fn func(Record) error) error {
+	path := segmentPath(l.dir, seq)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: read segment: %w", err)
+	}
+	seg := segment{seq: seq, path: path}
+	off := 0
+	for off < len(data) {
+		rec, next, torn, err := decodeFrame(data, off)
+		if err != nil {
+			return fmt.Errorf("wal: segment %s: %w", filepath.Base(path), err)
+		}
+		if torn {
+			if !last {
+				return fmt.Errorf("wal: segment %s: truncated record at offset %d in sealed segment", filepath.Base(path), off)
+			}
+			dropped := int64(len(data) - off)
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			l.tornBytes += dropped
+			break
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		seg.records++
+		if rec.Version > seg.maxVersion {
+			seg.maxVersion = rec.Version
+		}
+		if rec.Version > l.lastVersion {
+			l.lastVersion = rec.Version
+		}
+		off = next
+	}
+	seg.bytes = int64(off)
+	l.segs = append(l.segs, seg)
+	return nil
+}
+
+// openSegment creates a fresh active segment with the given sequence and
+// fsyncs the log directory so the new file's entry survives power loss
+// (fsync of a file alone does not persist its directory entry). Caller
+// holds mu (or is still single-goroutine during Open).
+func (l *Log) openSegment(seq int) error {
+	path := segmentPath(l.dir, seq)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if l.opts.Sync != SyncNone {
+		if err := syncPath(l.dir); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: sync log dir: %w", err)
+		}
+	}
+	l.segs = append(l.segs, segment{seq: seq, path: path})
+	l.active = f
+	return nil
+}
+
+// syncPath fsyncs a file or directory by path.
+func syncPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	if cerr := f.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+// Append durably stages records at the log's tail: all frames are written
+// with a single write call, then fsynced per the sync policy. The error
+// contract matters for the lake's commit protocol: a non-nil return means
+// the records are NOT in the log (the caller's commit aborts and its
+// versions are released, so the log and the lake cannot drift apart). On
+// a write error the file is truncated back to the pre-append offset; if
+// the rollback fails — or an fsync fails, after which the kernel's view
+// of the file is unreliable — the log poisons itself and every later
+// Append refuses with the same error.
+func (l *Log) Append(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		if err := appendFrame(&buf, rec); err != nil {
+			return err
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sticky != nil {
+		return l.sticky
+	}
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	seg := &l.segs[len(l.segs)-1]
+	prev := seg.bytes
+	if _, err := l.active.Write(buf.Bytes()); err != nil {
+		if terr := l.active.Truncate(prev); terr != nil {
+			l.sticky = fmt.Errorf("wal: append failed (%v) and rollback failed (%v); log is read-only", err, terr)
+			return l.sticky
+		}
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.dirty = true
+	if l.opts.Sync == SyncAlways {
+		if err := l.active.Sync(); err != nil {
+			// After a failed fsync the kernel may have dropped the dirty
+			// pages (a retry would falsely succeed): roll the frames back
+			// best-effort and refuse all further appends.
+			_ = l.active.Truncate(prev)
+			l.sticky = fmt.Errorf("wal: fsync failed (%v); log is read-only", err)
+			return l.sticky
+		}
+		l.dirty = false
+	}
+	// Bookkeeping only after the frames are in the log for good.
+	seg.bytes = prev + int64(buf.Len())
+	seg.records += len(recs)
+	for _, rec := range recs {
+		if rec.Version > seg.maxVersion {
+			seg.maxVersion = rec.Version
+		}
+		if rec.Version > l.lastVersion {
+			l.lastVersion = rec.Version
+		}
+	}
+	if seg.bytes >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			// The records just appended are already as durable as the
+			// policy promises; only future appends are at risk. Poison
+			// them, but report success for this one — returning an error
+			// here would abort a commit whose record IS in the log, and
+			// the released version's reuse would corrupt replay.
+			l.sticky = fmt.Errorf("wal: rotate failed (%v); log is read-only", err)
+		}
+	}
+	return nil
+}
+
+// Sync fsyncs the active segment if it has unsynced writes. An fsync
+// failure poisons the log: on Linux a failed fsync drops the pages' dirty
+// state, so a retry would falsely report success — the only safe move is
+// to stop acknowledging writes.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.sticky != nil {
+		return l.sticky
+	}
+	if !l.dirty || l.active == nil {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		l.sticky = fmt.Errorf("wal: fsync failed (%v); log is read-only", err)
+		return l.sticky
+	}
+	l.dirty = false
+	return nil
+}
+
+// Rotate seals the active segment (fsynced and closed) and opens a fresh
+// one, so a following TruncateThrough can drop everything before the
+// rotation point. A checkpoint rotates before truncating.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	return l.rotateLocked()
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: close sealed segment: %w", err)
+	}
+	l.active = nil
+	return l.openSegment(l.segs[len(l.segs)-1].seq + 1)
+}
+
+// TruncateThrough deletes sealed segments whose every record is covered by
+// a checkpoint at version v (their highest event version is <= v). The
+// active segment is never deleted. A segment whose file refuses to unlink
+// stays tracked (retried at the next checkpoint); one already gone counts
+// as removed.
+func (l *Log) TruncateThrough(v uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := make([]segment, 0, len(l.segs))
+	var firstErr error
+	for i, seg := range l.segs {
+		if i < len(l.segs)-1 && seg.maxVersion <= v {
+			err := os.Remove(seg.path)
+			if err == nil || errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("wal: remove sealed segment: %w", err)
+			}
+		}
+		kept = append(kept, seg)
+	}
+	l.segs = kept
+	return firstErr
+}
+
+// Stats reports the log's current shape.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Stats{Segments: len(l.segs), LastVersion: l.lastVersion, TornBytes: l.tornBytes}
+	for _, seg := range l.segs {
+		s.Bytes += seg.bytes
+		s.Records += seg.records
+	}
+	return s
+}
+
+// syncLoop is the SyncInterval background fsync.
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			// An fsync failure poisons the log inside Sync, so the error
+			// is not lost: every subsequent Append (and Close) reports it.
+			_ = l.Sync()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// Close fsyncs and closes the log. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	if l.stop != nil {
+		close(l.stop)
+		<-l.syncDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.syncLocked()
+	if l.active != nil {
+		if cerr := l.active.Close(); err == nil {
+			err = cerr
+		}
+		l.active = nil
+	}
+	return err
+}
