@@ -663,6 +663,116 @@ func BenchmarkDurableIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpointStall measures what an ingest writer feels while a
+// checkpoint is in flight. A durable system is seeded with a few thousand
+// documents (so the checkpoint's write phase — catalog + index snapshot
+// serialization and tree fsync — is long), a background goroutine runs
+// checkpoints back to back, and per-ingest latency is sampled only while
+// a checkpoint is actually running.
+//
+// The gated expectation of the two-phase protocol: ingest p99 during a
+// checkpoint is bounded by the fork phase (the only quiesced window,
+// reported as fork-ns) and does not grow with snapshot size — compare
+// p99-ns against write-ns, the snapshot serialization time a single-phase
+// checkpoint would have stalled writers for. The deterministic version of
+// this gate is TestCheckpointDoesNotBlockIngest in internal/durable.
+func BenchmarkCheckpointStall(b *testing.B) {
+	opts := DefaultOpenOptions(1)
+	opts.Indexer.QueryCacheSize = 0
+	opts.Sync = "none" // isolate checkpoint-induced stall from per-commit fsync cost
+	sys, err := Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Seed enough state that one checkpoint write phase outlasts the whole
+	// sampled ingest window.
+	const seedDocs, seedBatch = 3000, 500
+	for off := 0; off < seedDocs; off += seedBatch {
+		items := make([]BatchItem, seedBatch)
+		for j := range items {
+			d := benchDoc(benchDocSeq.Add(1))
+			items[j] = BatchItem{Doc: &Document{ID: d.ID, Title: d.Title, Text: d.Text}}
+		}
+		results, err := sys.AddBatch(items)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+
+	stop := make(chan struct{})
+	ckptDone := make(chan struct{})
+	var inFlight atomic.Bool
+	var checkpoints int64
+	go func() {
+		defer close(ckptDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			inFlight.Store(true)
+			_, err := sys.Checkpoint()
+			inFlight.Store(false)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			checkpoints++
+		}
+	}()
+	// Sample only while a checkpoint is genuinely in flight; bail (the
+	// error is already recorded) if the checkpointer dies, rather than
+	// spinning until the CI job timeout.
+	waitInFlight := func() bool {
+		for !inFlight.Load() {
+			select {
+			case <-ckptDone:
+				return false
+			default:
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+		return true
+	}
+	if !waitInFlight() {
+		b.Fatal("checkpointer exited before the first checkpoint")
+	}
+
+	durs := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Between checkpoints: wait off the clock, so ns/op measures the
+		// ingest itself rather than idle spinning.
+		b.StopTimer()
+		if !waitInFlight() {
+			break
+		}
+		d := benchDoc(benchDocSeq.Add(1))
+		b.StartTimer()
+		start := time.Now()
+		if err := sys.AddDocument(&Document{ID: d.ID, Title: d.Title, Text: d.Text}); err != nil {
+			b.Fatal(err)
+		}
+		durs = append(durs, time.Since(start))
+	}
+	b.StopTimer()
+	close(stop)
+	<-ckptDone
+	reportLatencyPercentiles(b, durs)
+	ds, _ := sys.Durability()
+	b.ReportMetric(float64(ds.LastForkNanos), "fork-ns")
+	b.ReportMetric(float64(ds.LastWriteNanos), "write-ns")
+	b.ReportMetric(float64(checkpoints), "checkpoints")
+}
+
 // BenchmarkEmbedText measures embedding throughput.
 func BenchmarkEmbedText(b *testing.B) {
 	emb := embed.NewEmbedder(128, 1)

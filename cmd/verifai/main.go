@@ -24,7 +24,10 @@
 //	    acknowledged write lands in a write-ahead log before it commits,
 //	    checkpoints snapshot catalog+indexes (periodically with
 //	    -checkpoint-every, on demand via POST /v1/admin/checkpoint, and
-//	    at shutdown), and a restart recovers everything. -lake seeds an
+//	    at shutdown) without pausing ingestion — writers wait only for
+//	    the short fork phase while the snapshot writes in the background
+//	    — and a restart recovers everything. The data dir is flock-owned
+//	    by one process (a second server fails fast). -lake seeds an
 //	    empty data dir; SIGINT/SIGTERM drains connections, checkpoints,
 //	    and closes cleanly.
 //
@@ -36,6 +39,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -347,9 +351,16 @@ func runServe(args []string) error {
 			for {
 				select {
 				case <-t.C:
-					if v, err := sys.Checkpoint(); err != nil {
+					// Checkpoints are two-phase and overlap ingestion, so the
+					// ticker needs no drain; a tick landing while an admin- or
+					// ticker-triggered checkpoint is still writing just skips
+					// (the running one covers it).
+					switch v, err := sys.Checkpoint(); {
+					case errors.Is(err, verifai.ErrCheckpointInFlight):
+						log.Print("periodic checkpoint skipped: one already in flight")
+					case err != nil:
 						log.Printf("periodic checkpoint failed: %v", err)
-					} else {
+					default:
 						log.Printf("checkpointed at lake version %d", v)
 					}
 				case <-ctx.Done():
@@ -377,9 +388,14 @@ func runServe(args []string) error {
 		log.Printf("shutdown: %v", serr)
 	}
 	if *dataDir != "" {
-		if v, cerr := sys.Checkpoint(); cerr != nil {
+		switch v, cerr := sys.Checkpoint(); {
+		case errors.Is(cerr, verifai.ErrCheckpointInFlight):
+			// Close waits the running checkpoint out before releasing the
+			// data dir; anything it forked too early to cover is in the WAL.
+			log.Print("final checkpoint skipped: one already in flight (Close waits for it; WAL has the remainder)")
+		case cerr != nil:
 			log.Printf("final checkpoint failed (WAL still has everything): %v", cerr)
-		} else {
+		default:
 			log.Printf("final checkpoint at lake version %d", v)
 		}
 	}

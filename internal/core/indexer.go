@@ -33,12 +33,14 @@ const (
 )
 
 // vectorIndex is the write+search+persist interface all vecindex types
-// satisfy.
+// satisfy. Freeze captures the index cheaply under its read lock for the
+// checkpoint fork phase; Save is Freeze+serialize in one call.
 type vectorIndex interface {
 	vecindex.Searcher
 	Add(id string, v embed.Vector) error
 	Remove(id string) bool
 	Save(w io.Writer) error
+	Freeze() vecindex.Frozen
 }
 
 // IndexerConfig controls index construction.

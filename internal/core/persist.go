@@ -72,11 +72,49 @@ func shardFile(dir, family string, kind datalake.Kind, shard int) string {
 	return filepath.Join(dir, fmt.Sprintf("%s-%s-%03d.idx", family, kind, shard))
 }
 
-// SaveSnapshot writes every index shard plus the pinning metadata to dir
-// (created if needed). Call it only while the lake is quiesced at
-// lakeVersion (e.g. inside datalake.Quiesce), or concurrent ingest will
-// tear the shard files against each other.
-func (ix *Indexer) SaveSnapshot(dir string, lakeVersion uint64) error {
+// FrozenIndexes is an immutable capture of every index shard across every
+// (kind, family) pair, pinned by Indexer.Freeze during a checkpoint's
+// quiesced fork phase. Save then serializes it to disk with no lake or
+// index locks held, so ingestion proceeds for the whole write phase — the
+// capture stays frozen at the fork's lake version no matter how far the
+// live indexes move on.
+type FrozenIndexes struct {
+	cfg  IndexerConfig
+	bm25 map[datalake.Kind][]*invindex.Frozen
+	vec  map[datalake.Kind][]vecindex.Frozen
+}
+
+// Freeze captures every shard of every index family. Call it only while
+// the lake is quiesced (e.g. inside datalake.Fork), or concurrent ingest
+// will tear the shard captures against each other; the capture itself is
+// cheap — compacted in-memory copies, no serialization, no I/O.
+func (ix *Indexer) Freeze() *FrozenIndexes {
+	fz := &FrozenIndexes{
+		cfg:  ix.cfg,
+		bm25: make(map[datalake.Kind][]*invindex.Frozen, len(ix.bm25)),
+		vec:  make(map[datalake.Kind][]vecindex.Frozen, len(ix.vec)),
+	}
+	for kind, shards := range ix.bm25 {
+		frozen := make([]*invindex.Frozen, len(shards))
+		for si, sh := range shards {
+			frozen[si] = sh.Freeze()
+		}
+		fz.bm25[kind] = frozen
+	}
+	for kind, shards := range ix.vec {
+		frozen := make([]vecindex.Frozen, len(shards))
+		for si, sh := range shards {
+			frozen[si] = sh.Freeze()
+		}
+		fz.vec[kind] = frozen
+	}
+	return fz
+}
+
+// Save writes the frozen shards plus the pinning metadata to dir (created
+// if needed). lakeVersion must be the lake version the capture was frozen
+// at. Safe to call with ingestion running: the capture is immutable.
+func (fz *FrozenIndexes) Save(dir string, lakeVersion uint64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: snapshot mkdir: %w", err)
 	}
@@ -94,21 +132,21 @@ func (ix *Indexer) SaveSnapshot(dir string, lakeVersion uint64) error {
 		}
 		return nil
 	}
-	for kind, shards := range ix.bm25 {
+	for kind, shards := range fz.bm25 {
 		for si, sh := range shards {
 			if err := save(shardFile(dir, familyBM25, kind, si), func(f *os.File) error { return sh.Save(f) }); err != nil {
 				return err
 			}
 		}
 	}
-	for kind, shards := range ix.vec {
+	for kind, shards := range fz.vec {
 		for si, sh := range shards {
 			if err := save(shardFile(dir, familyVector, kind, si), func(f *os.File) error { return sh.Save(f) }); err != nil {
 				return err
 			}
 		}
 	}
-	cc, err := canonicalConfig(ix.cfg)
+	cc, err := canonicalConfig(fz.cfg)
 	if err != nil {
 		return fmt.Errorf("core: snapshot config: %w", err)
 	}
@@ -120,6 +158,15 @@ func (ix *Indexer) SaveSnapshot(dir string, lakeVersion uint64) error {
 		return fmt.Errorf("core: write snapshot meta: %w", err)
 	}
 	return nil
+}
+
+// SaveSnapshot writes every index shard plus the pinning metadata to dir
+// (created if needed): Freeze + FrozenIndexes.Save in one call. Call it
+// only while the lake is quiesced at lakeVersion (e.g. inside
+// datalake.Quiesce); checkpoints that must not block ingestion freeze
+// under the quiescence and Save afterwards instead.
+func (ix *Indexer) SaveSnapshot(dir string, lakeVersion uint64) error {
+	return ix.Freeze().Save(dir, lakeVersion)
 }
 
 // ErrSnapshotMismatch reports a snapshot that is missing or was built for

@@ -932,6 +932,13 @@ func (l *Lake) Graph() *kg.Graph {
 	return l.graph
 }
 
+// Triples returns a copy of the knowledge graph's triples in insertion
+// order — the same catalog surface a pinned View offers, so serializers
+// (lakeio) can treat a live lake and a forked view uniformly.
+func (l *Lake) Triples() []kg.Triple {
+	return l.Graph().Triples()
+}
+
 // Table returns the table with the given ID.
 func (l *Lake) Table(id string) (*table.Table, bool) {
 	l.mu.RLock()

@@ -1,0 +1,112 @@
+package datalake
+
+import (
+	"sort"
+
+	"repro/internal/doc"
+	"repro/internal/kg"
+	"repro/internal/table"
+)
+
+// View is an immutable snapshot of the lake's catalog pinned at one
+// version: the fork primitive behind non-blocking checkpoints. A View is
+// built under a brief quiescence (Fork) by copying the catalog's
+// *references* — map and slice headers, plus the triple list — so the fork
+// cost is proportional to the number of instances, not their content. The
+// referenced tables and documents are safe to share because the lake
+// treats them as immutable once ingested (updates are modeled as
+// delete+re-add, and the catalog maps are replaced, never mutated through
+// a view). A long-running consumer (the checkpoint write phase) serializes
+// the View while ingestion continues on the live lake.
+type View struct {
+	version  uint64
+	sources  []Source
+	tableIDs []string
+	docIDs   []string
+	tables   map[string]*table.Table
+	docs     map[string]*doc.Document
+	triples  []kg.Triple
+}
+
+// Fork quiesces the lake just long enough to pin a consistent View of the
+// catalog at the current version, optionally running extra fork-time work
+// (e.g. rotating a write-ahead log, freezing index shards) under the same
+// quiescence. When Fork returns, ingestion resumes immediately; the View
+// stays frozen at its version forever. An extra error aborts the fork.
+//
+// This is the short phase of a two-phase checkpoint: everything
+// proportional to snapshot *size* (serialization, fsync) happens later,
+// against the returned View, with no lake locks held.
+func (l *Lake) Fork(extra func(v *View) error) (*View, error) {
+	var view *View
+	err := l.Quiesce(func(version uint64) error {
+		view = l.viewLocked(version)
+		if extra != nil {
+			return extra(view)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return view, nil
+}
+
+// viewLocked copies the catalog references into a View. The caller holds
+// writeMu with the lake fully applied (Quiesce), so mu readers are the
+// only concurrent accessors and a read lock suffices.
+func (l *Lake) viewLocked(version uint64) *View {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	v := &View{
+		version:  version,
+		sources:  make([]Source, 0, len(l.sources)),
+		tableIDs: append([]string(nil), l.tableIDs...),
+		docIDs:   append([]string(nil), l.docIDs...),
+		tables:   make(map[string]*table.Table, len(l.tables)),
+		docs:     make(map[string]*doc.Document, len(l.docs)),
+	}
+	for id, t := range l.tables {
+		v.tables[id] = t
+	}
+	for id, d := range l.docs {
+		v.docs[id] = d
+	}
+	for _, s := range l.sources {
+		v.sources = append(v.sources, s)
+	}
+	sort.Slice(v.sources, func(i, j int) bool { return v.sources[i].ID < v.sources[j].ID })
+	v.triples = l.graph.Triples()
+	return v
+}
+
+// Version returns the lake version the view is pinned at.
+func (v *View) Version() uint64 { return v.version }
+
+// Sources returns the view's registered sources sorted by ID (shared
+// slice; callers must not mutate).
+func (v *View) Sources() []Source { return v.sources }
+
+// TableIDs returns the view's table IDs in insertion order (shared slice;
+// callers must not mutate).
+func (v *View) TableIDs() []string { return v.tableIDs }
+
+// Table returns the table with the given ID.
+func (v *View) Table(id string) (*table.Table, bool) {
+	t, ok := v.tables[id]
+	return t, ok
+}
+
+// DocIDs returns the view's document IDs in insertion order (shared
+// slice; callers must not mutate).
+func (v *View) DocIDs() []string { return v.docIDs }
+
+// Document returns the document with the given ID.
+func (v *View) Document(id string) (*doc.Document, bool) {
+	d, ok := v.docs[id]
+	return d, ok
+}
+
+// Triples returns the view's knowledge-graph triples in insertion order
+// (shared slice; callers must not mutate).
+func (v *View) Triples() []kg.Triple { return v.triples }

@@ -1,0 +1,267 @@
+package durable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datalake"
+	"repro/internal/doc"
+	"repro/internal/faultfs"
+	"repro/internal/kg"
+	"repro/internal/table"
+	"repro/internal/wal"
+)
+
+// The crash-consistency suite: run a deterministic ingest → checkpoint →
+// ingest workload over a fault-injecting filesystem that kills the
+// process at an exact write/rename/fsync operation, then recover the
+// directory with a clean filesystem and assert the two invariants the
+// durability protocol promises at EVERY kill point:
+//
+//  1. no lost acknowledged write — every mutation whose ingest call
+//     returned nil before the crash is present after recovery;
+//  2. prefix consistency — the recovered lake is exactly the first K
+//     mutations of the workload for some K >= the acknowledged count
+//     (a crash may persist a write it never acknowledged, but can never
+//     skip one or reorder them), with Version() == K.
+//
+// The exhaustive sweep kills at operation 1, 2, 3, ... until the workload
+// completes without reaching the kill point, so every fault site the
+// protocol has — WAL appends and fsyncs, segment creates and rotations,
+// checkpoint META writes, tree syncs, the two swap renames, segment
+// truncations — is exercised, with every third point tearing the write at
+// the kill instead of dropping it. The randomized variant throws random
+// kill points (and torn-ness) at a longer mixed-modality workload with
+// two checkpoints.
+
+// crashMutation is one workload step plus its recovery predicate.
+type crashMutation struct {
+	ingest func(l *datalake.Lake) error
+	check  func(l *datalake.Lake) bool
+}
+
+// docMutation builds a document ingest step.
+func docMutation(seq int) crashMutation {
+	id := fmt.Sprintf("doc-%04d", seq)
+	return crashMutation{
+		ingest: func(l *datalake.Lake) error {
+			return l.AddDocument(&doc.Document{ID: id, Title: "t", Text: fmt.Sprintf("body of %s", id)})
+		},
+		check: func(l *datalake.Lake) bool { _, ok := l.Document(id); return ok },
+	}
+}
+
+// tableMutation builds a table ingest step.
+func tableMutation(seq int) crashMutation {
+	id := fmt.Sprintf("tbl-%04d", seq)
+	return crashMutation{
+		ingest: func(l *datalake.Lake) error {
+			tb := table.New(id, "caption "+id, []string{"a", "b"})
+			tb.MustAppendRow(fmt.Sprintf("%d", seq), "x")
+			return l.AddTable(tb)
+		},
+		check: func(l *datalake.Lake) bool { _, ok := l.Table(id); return ok },
+	}
+}
+
+// tripleMutation builds a knowledge-graph ingest step.
+func tripleMutation(seq int) crashMutation {
+	subj := fmt.Sprintf("ent-%04d", seq)
+	obj := fmt.Sprintf("obj-%04d", seq)
+	return crashMutation{
+		ingest: func(l *datalake.Lake) error {
+			return l.AddTriple(kg.Triple{Subject: subj, Predicate: "linked to", Object: obj})
+		},
+		check: func(l *datalake.Lake) bool {
+			got := l.Graph().Lookup(subj, "linked to")
+			return len(got) == 1 && got[0] == obj
+		},
+	}
+}
+
+// docWorkload is the exhaustive sweep's workload: documents only, so the
+// operation sequence is fully deterministic run to run.
+func docWorkload(n int) []crashMutation {
+	muts := make([]crashMutation, n)
+	for i := range muts {
+		muts[i] = docMutation(i)
+	}
+	return muts
+}
+
+// mixedWorkload interleaves all three modalities deterministically.
+func mixedWorkload(n int) []crashMutation {
+	muts := make([]crashMutation, n)
+	for i := range muts {
+		switch i % 3 {
+		case 0:
+			muts[i] = docMutation(i)
+		case 1:
+			muts[i] = tableMutation(i)
+		default:
+			muts[i] = tripleMutation(i)
+		}
+	}
+	return muts
+}
+
+// runCrashAttempt executes the workload against dir through ffs,
+// checkpointing (with nil index freeze) after each index in ckptAfter,
+// and returns how many mutations were acknowledged and whether the source
+// registration was. Any failure after the kill point is expected; a
+// failure with the filesystem healthy is a real bug and fails the test.
+func runCrashAttempt(t *testing.T, dir string, ffs *faultfs.Faulty, muts []crashMutation, ckptAfter map[int]bool) (acked int, srcAcked bool) {
+	t.Helper()
+	bail := func(stage string, err error) {
+		if !ffs.Crashed() {
+			t.Fatalf("%s failed without a crash: %v", stage, err)
+		}
+	}
+	st, err := Open(dir, Options{Sync: wal.SyncAlways, SegmentBytes: 2048, FS: ffs})
+	if err != nil {
+		bail("Open", err)
+		return 0, false
+	}
+	defer func() {
+		st.Lake().Close()
+		st.Close()
+	}()
+	if err := st.ReplayTail(); err != nil {
+		bail("ReplayTail", err)
+		return 0, false
+	}
+	st.Arm()
+	if err := st.Lake().AddSource(datalake.Source{ID: "src", Name: "crash suite", TrustPrior: 0.7}); err != nil {
+		bail("AddSource", err)
+		return 0, false
+	}
+	srcAcked = true
+	for i, m := range muts {
+		if ckptAfter[i] {
+			if _, err := st.Checkpoint(nil); err != nil {
+				bail("Checkpoint", err)
+				// A failed checkpoint loses nothing; keep ingesting (the
+				// attempts fail fast once the log is poisoned).
+			}
+		}
+		if err := m.ingest(st.Lake()); err != nil {
+			bail("ingest", err)
+			return acked, srcAcked
+		}
+		acked = i + 1
+	}
+	return acked, srcAcked
+}
+
+// verifyCrashRecovery recovers dir with a healthy filesystem and asserts
+// the two invariants.
+func verifyCrashRecovery(t *testing.T, dir string, kill int64, muts []crashMutation, acked int, srcAcked bool) {
+	t.Helper()
+	st, err := Open(dir, Options{Sync: wal.SyncNone})
+	if err != nil {
+		t.Fatalf("kill %d: recovery Open failed: %v", kill, err)
+	}
+	defer func() {
+		st.Lake().Close()
+		st.Close()
+	}()
+	if err := st.ReplayTail(); err != nil {
+		t.Fatalf("kill %d: recovery ReplayTail failed: %v", kill, err)
+	}
+	lake := st.Lake()
+	k := lake.Version()
+	if k < uint64(acked) {
+		t.Fatalf("kill %d: recovered version %d < %d acknowledged writes (lost acks)", kill, k, acked)
+	}
+	if k > uint64(len(muts)) {
+		t.Fatalf("kill %d: recovered version %d > %d attempted writes", kill, k, len(muts))
+	}
+	for i, m := range muts {
+		present := m.check(lake)
+		if uint64(i) < k && !present {
+			t.Fatalf("kill %d: recovered at version %d but mutation %d is missing (hole in the prefix)", kill, k, i)
+		}
+		if uint64(i) >= k && present {
+			t.Fatalf("kill %d: recovered at version %d but mutation %d is present (version understates state)", kill, k, i)
+		}
+	}
+	if srcAcked {
+		if _, ok := lake.Source("src"); !ok {
+			t.Fatalf("kill %d: acknowledged source registration lost", kill)
+		}
+	}
+	// The recovered store must accept writes at the right next version.
+	st.Arm()
+	v, err := lake.AddDocumentVersioned(&doc.Document{ID: "post-recovery", Text: "x"})
+	if err != nil {
+		t.Fatalf("kill %d: post-recovery ingest failed: %v", kill, err)
+	}
+	if v != k+1 {
+		t.Fatalf("kill %d: post-recovery version %d, want %d", kill, v, k+1)
+	}
+}
+
+// TestCrashConsistencyKillPoints sweeps the kill point across every
+// mutating filesystem operation of an ingest → checkpoint → ingest
+// workload (torn writes every third point), asserting recovery at each.
+func TestCrashConsistencyKillPoints(t *testing.T) {
+	muts := docWorkload(60)
+	ckptAfter := map[int]bool{30: true}
+	points := 0
+	for kill := int64(1); ; kill++ {
+		dir := t.TempDir()
+		ffs := faultfs.New(nil)
+		ffs.CrashAt(kill, kill%3 == 0)
+		acked, srcAcked := runCrashAttempt(t, dir, ffs, muts, ckptAfter)
+		if !ffs.Crashed() {
+			// The workload ran out of operations before the kill point:
+			// every fault site has been exercised.
+			if acked != len(muts) {
+				t.Fatalf("healthy run acknowledged %d/%d writes", acked, len(muts))
+			}
+			break
+		}
+		points++
+		verifyCrashRecovery(t, dir, kill, muts, acked, srcAcked)
+	}
+	if points < 100 {
+		t.Errorf("exercised %d crash points, want >= 100 (workload too small to cover the protocol)", points)
+	}
+	t.Logf("verified recovery at %d distinct crash points", points)
+}
+
+// TestCrashConsistencyRandomized throws random kill points (random
+// torn-ness) at a longer mixed-modality workload with two checkpoints.
+func TestCrashConsistencyRandomized(t *testing.T) {
+	muts := mixedWorkload(90)
+	ckptAfter := map[int]bool{25: true, 70: true}
+
+	// Dry run to learn the healthy operation count.
+	probe := faultfs.New(nil)
+	if acked, _ := runCrashAttempt(t, t.TempDir(), probe, muts, ckptAfter); acked != len(muts) {
+		t.Fatalf("dry run acknowledged %d/%d writes", acked, len(muts))
+	}
+	total := probe.Ops()
+	if total < 100 {
+		t.Fatalf("workload produced only %d mutating ops", total)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	attempts := 30
+	if testing.Short() {
+		attempts = 8
+	}
+	for i := 0; i < attempts; i++ {
+		kill := 1 + rng.Int63n(total)
+		torn := rng.Intn(2) == 0
+		dir := t.TempDir()
+		ffs := faultfs.New(nil)
+		ffs.CrashAt(kill, torn)
+		acked, srcAcked := runCrashAttempt(t, dir, ffs, muts, ckptAfter)
+		if !ffs.Crashed() {
+			t.Fatalf("kill %d <= %d ops never hit", kill, total)
+		}
+		verifyCrashRecovery(t, dir, kill, muts, acked, srcAcked)
+	}
+}

@@ -1,6 +1,7 @@
 // Package durable makes a data lake survive process restarts. It ties
 // three pieces together around one data directory:
 //
+//	<dir>/LOCK             cross-process flock: one Store per directory
 //	<dir>/wal/             write-ahead log segments (internal/wal)
 //	<dir>/checkpoint/      latest checkpoint: lakeio catalog layout
 //	                       (manifest.json, tables/, texts/), META.json
@@ -11,20 +12,31 @@
 // The commit protocol: every lake mutation is appended to the WAL by the
 // lake's commit hook — under the write lock, after version assignment,
 // before the catalog mutates or the event publishes — so an acknowledged
-// write is always reconstructible. A checkpoint quiesces the lake, saves
-// the catalog (lakeio.Save) and index state, atomically swaps it in, then
-// rotates the WAL and deletes sealed segments the checkpoint covers.
+// write is always reconstructible.
+//
+// Checkpoints are two-phase so they do not block ingestion. The fork
+// phase quiesces the lake just long enough to pin an immutable catalog
+// view (datalake.Fork), freeze the index shards in memory, and rotate the
+// WAL so post-fork writes land in a fresh segment. The write phase — the
+// long part, proportional to snapshot size — then serializes the pinned
+// state to checkpoint.tmp, fsyncs the tree, atomically swaps it in, and
+// deletes the sealed WAL segments the checkpoint covers, all while
+// ingestion continues. Ingest stall is bounded by the fork phase alone.
+// At most one checkpoint runs at a time (ErrCheckpointInFlight).
 //
 // Recovery (Open) is the reverse: load the latest valid checkpoint, fast-
-// forward the lake's version counter to the checkpoint version, and hand
-// the WAL tail (records past the checkpoint) to the caller, who replays it
-// through the normal AddBatch path once the indexer is subscribed — so
-// indexes rebuild through exactly the code live ingestion uses. A torn
-// final WAL record (a crash mid-append, necessarily unacknowledged) is
-// dropped; corruption anywhere else fails recovery loudly.
+// forward the lake's version counter to the checkpoint version, and
+// stream the WAL tail (records past the checkpoint) through the normal
+// AddBatch path in bounded batches once the indexer is subscribed — so
+// indexes rebuild through exactly the code live ingestion uses, and
+// replay memory is bounded by the batch size plus one WAL segment, not
+// the tail length. A torn final WAL record (a crash mid-append,
+// necessarily unacknowledged) is dropped; corruption anywhere else fails
+// recovery loudly.
 //
-// The directory must be owned by one process at a time; nothing here
-// implements cross-process locking.
+// The directory is owned by one process at a time: Open takes an
+// exclusive flock on <dir>/LOCK (released by Close, or by the kernel on
+// process death) and a second opener fails fast with ErrLocked.
 package durable
 
 import (
@@ -36,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/datalake"
+	"repro/internal/faultfs"
 	"repro/internal/lakeio"
 	"repro/internal/wal"
 )
@@ -52,11 +65,29 @@ type Options struct {
 	SegmentBytes int64
 	// LakeOptions configure the recovered lake (e.g. the ingest queue).
 	LakeOptions []datalake.Option
+	// FS is the filesystem the store (and its WAL) writes through; nil
+	// means the real OS. The crash-consistency suite injects a
+	// faultfs.Faulty here. The catalog serializer (lakeio) writes through
+	// the real OS either way: its files only become reachable once the
+	// fs-tracked META write and renames promote them, so a fault there is
+	// indistinguishable from a crash before the META write.
+	FS faultfs.FS
 }
+
+// ErrCheckpointInFlight reports a Checkpoint call that overlapped another:
+// checkpoints snapshot and truncate shared directory state, so only one
+// runs at a time. Detect it with errors.Is; the first checkpoint's outcome
+// covers the second's intent, so callers usually just skip.
+var ErrCheckpointInFlight = errors.New("durable: checkpoint already in flight")
 
 // metaFile is the checkpoint's validity marker; a checkpoint directory
 // without a readable one is ignored (e.g. a crash mid-write).
 const metaFile = "META.json"
+
+// replayBatchSize bounds one recovery batch through AddBatch: replay
+// memory is this many decoded records (plus one WAL segment buffer), not
+// the whole tail.
+const replayBatchSize = 256
 
 // checkpointMeta is the checkpoint's pinning metadata.
 type checkpointMeta struct {
@@ -75,9 +106,14 @@ type Stats struct {
 	CheckpointVersion uint64 `json:"checkpoint_version"`
 	// LastCheckpointUnix is 0 until a checkpoint happens in this process.
 	LastCheckpointUnix int64 `json:"last_checkpoint_unix,omitempty"`
-	WALSegments        int   `json:"wal_segments"`
-	WALBytes           int64 `json:"wal_bytes"`
-	WALRecords         int   `json:"wal_records"`
+	// LastForkNanos / LastWriteNanos are the last checkpoint's phase
+	// durations: fork is the quiesced window (the only part ingestion
+	// waits on), write is the unquiesced serialization+swap.
+	LastForkNanos  int64 `json:"last_checkpoint_fork_ns,omitempty"`
+	LastWriteNanos int64 `json:"last_checkpoint_write_ns,omitempty"`
+	WALSegments    int   `json:"wal_segments"`
+	WALBytes       int64 `json:"wal_bytes"`
+	WALRecords     int   `json:"wal_records"`
 	// WALTornBytes counts torn-tail bytes dropped at recovery.
 	WALTornBytes int64 `json:"wal_torn_bytes,omitempty"`
 	// ReplayedRecords counts WAL records replayed at recovery.
@@ -91,16 +127,24 @@ type Stats struct {
 type Store struct {
 	dir  string
 	opts Options
+	fs   faultfs.FS
 	lake *datalake.Lake
 	log  *wal.Log
+	lock *dirLock
 
 	mu             sync.Mutex
 	ckptVersion    uint64
 	lastCheckpoint time.Time
-	tail           []wal.Record
-	replayed       int
-	armed          bool
-	closed         bool
+	forkDur        time.Duration
+	writeDur       time.Duration
+	checkpointing  bool
+	// ckptIdle broadcasts on mu when checkpointing flips false; Close
+	// waits on it so an in-flight checkpoint's write phase finishes
+	// before the WAL closes and the directory lock is released.
+	ckptIdle *sync.Cond
+	replayed int
+	armed    bool
+	closed   bool
 }
 
 func (s *Store) walDir() string        { return filepath.Join(s.dir, "wal") }
@@ -122,15 +166,30 @@ func (s *Store) CheckpointVersion() uint64 {
 }
 
 // Open recovers a durable lake from dir, creating the layout on first use.
-// The returned store holds the WAL tail in memory; call ReplayTail after
-// subscribing the indexer, then Arm to begin logging new writes.
+// It fails fast with ErrLocked when another process owns the directory.
+// Call ReplayTail after subscribing the indexer, then Arm to begin logging
+// new writes.
 func Open(dir string, opts Options) (_ *Store, err error) {
-	s := &Store{dir: dir, opts: opts}
+	if opts.FS == nil {
+		opts.FS = faultfs.OS
+	}
+	s := &Store{dir: dir, opts: opts, fs: opts.FS}
+	s.ckptIdle = sync.NewCond(&s.mu)
 	for _, sub := range []string{"", "wal"} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+		if err := s.fs.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("durable: mkdir: %w", err)
 		}
 	}
+	lock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.lock = lock
+	defer func() {
+		if err != nil {
+			s.lock.release()
+		}
+	}()
 	meta, err := s.resolveCheckpoint()
 	if err != nil {
 		return nil, err
@@ -155,17 +214,12 @@ func Open(dir string, opts Options) (_ *Store, err error) {
 		}
 	}()
 
-	// Scan the WAL, keeping records the checkpoint does not cover. Source
-	// records are kept unconditionally: re-registering a source is an
-	// idempotent overwrite, and the WAL's order preserves the last write.
+	// Open the WAL (replaying for torn-tail repair and segment
+	// bookkeeping only; the tail is streamed from disk again by
+	// ReplayTail, so it is never buffered whole in memory here).
 	log, err := wal.Open(s.walDir(), wal.Options{
-		Sync: opts.Sync, Interval: opts.SyncInterval, SegmentBytes: opts.SegmentBytes,
-	}, func(rec wal.Record) error {
-		if rec.Kind == wal.KindSource || rec.Version > s.ckptVersion {
-			s.tail = append(s.tail, rec)
-		}
-		return nil
-	})
+		Sync: opts.Sync, Interval: opts.SyncInterval, SegmentBytes: opts.SegmentBytes, FS: opts.FS,
+	}, nil)
 	if err != nil {
 		return nil, fmt.Errorf("durable: open wal: %w", err)
 	}
@@ -179,16 +233,16 @@ func Open(dir string, opts Options) (_ *Store, err error) {
 func (s *Store) resolveCheckpoint() (*checkpointMeta, error) {
 	cur := s.checkpointDir()
 	old := cur + ".old"
-	if meta, err := readCheckpointMeta(cur); err != nil {
+	if meta, err := readCheckpointMeta(s.fs, cur); err != nil {
 		return nil, err
 	} else if meta != nil {
 		// Leftover .old from a swap that crashed before cleanup.
-		if err := os.RemoveAll(old); err != nil {
+		if err := s.fs.RemoveAll(old); err != nil {
 			return nil, fmt.Errorf("durable: remove stale checkpoint.old: %w", err)
 		}
 		return meta, nil
 	}
-	meta, err := readCheckpointMeta(old)
+	meta, err := readCheckpointMeta(s.fs, old)
 	if err != nil {
 		return nil, err
 	}
@@ -197,28 +251,30 @@ func (s *Store) resolveCheckpoint() (*checkpointMeta, error) {
 	}
 	// The swap crashed between moving the old checkpoint away and moving
 	// the new one in: restore the old one.
-	if err := os.RemoveAll(cur); err != nil {
+	if err := s.fs.RemoveAll(cur); err != nil {
 		return nil, fmt.Errorf("durable: remove invalid checkpoint: %w", err)
 	}
-	if err := os.Rename(old, cur); err != nil {
+	if err := s.fs.Rename(old, cur); err != nil {
 		return nil, fmt.Errorf("durable: restore checkpoint.old: %w", err)
 	}
 	return meta, nil
 }
 
-// ReplayTail applies the WAL tail through the lake's normal write path —
-// AddBatch for event records (so any subscribed indexer maintains itself
-// through the same code as live ingestion), AddSource for source records —
-// and verifies every replayed mutation recommits as its original version.
+// ReplayTail streams the WAL tail — every record past the checkpoint,
+// plus source registrations, which replay unconditionally because
+// re-registering is an idempotent overwrite — through the lake's normal
+// write path: AddBatch for event records in bounded batches (so any
+// subscribed indexer maintains itself through the same code as live
+// ingestion, and replay memory stays bounded no matter how long the tail
+// is), AddSource for source records at their position in WAL order. Every
+// replayed mutation is verified to recommit as its original version.
 func (s *Store) ReplayTail() error {
 	s.mu.Lock()
-	tail := s.tail
-	s.tail = nil
+	ckptVersion := s.ckptVersion
 	s.mu.Unlock()
 
-	// Group contiguous event records into batches, applying source
-	// records at their position to preserve WAL order.
 	var pending []wal.Record
+	replayed := 0
 	flush := func() error {
 		if len(pending) == 0 {
 			return nil
@@ -242,7 +298,11 @@ func (s *Store) ReplayTail() error {
 		pending = pending[:0]
 		return nil
 	}
-	for _, rec := range tail {
+	err := s.log.Replay(func(rec wal.Record) error {
+		if rec.Kind != wal.KindSource && rec.Version <= ckptVersion {
+			return nil // covered by the checkpoint
+		}
+		replayed++
 		if rec.Kind == wal.KindSource {
 			if err := flush(); err != nil {
 				return err
@@ -253,15 +313,22 @@ func (s *Store) ReplayTail() error {
 			if err := s.lake.AddSource(*rec.Source); err != nil {
 				return fmt.Errorf("durable: replay source %q: %w", rec.Source.ID, err)
 			}
-			continue
+			return nil
 		}
 		pending = append(pending, rec)
+		if len(pending) >= replayBatchSize {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	if err := flush(); err != nil {
 		return err
 	}
 	s.mu.Lock()
-	s.replayed = len(tail)
+	s.replayed = replayed
 	s.mu.Unlock()
 	return nil
 }
@@ -292,71 +359,120 @@ func (s *Store) Arm() {
 	s.mu.Unlock()
 }
 
-// Checkpoint captures a consistent snapshot: with the lake quiesced it
-// saves the catalog (and, via saveIndexes, the index state) into a
-// temporary directory, atomically swaps it in as the current checkpoint,
-// then rotates the WAL and deletes the sealed segments the checkpoint
-// covers. saveIndexes receives the checkpoint directory being built and
-// the checkpoint version; nil skips index snapshotting. Returns the
-// checkpoint's lake version.
+// FreezeFunc is the fork-phase half of an index snapshot: it runs with
+// the lake quiesced at version and must capture index state cheaply in
+// memory (e.g. core.Indexer.Freeze), returning the WriteFunc that will
+// serialize the capture later. An error aborts the checkpoint before
+// anything is written.
+type FreezeFunc func(version uint64) (WriteFunc, error)
+
+// WriteFunc is the write-phase half: it serializes the frozen capture
+// into the checkpoint directory being built, with no lake locks held and
+// ingestion running.
+type WriteFunc func(dir string) error
+
+// Checkpoint captures a durable snapshot without blocking ingestion, in
+// two phases.
 //
-// Ingestion blocks for the duration (reads keep being served); callers
-// pick a cadence accordingly.
-func (s *Store) Checkpoint(saveIndexes func(dir string, version uint64) error) (uint64, error) {
+// Fork (quiesced, short — the only window writers wait on): pin an
+// immutable view of the catalog at the current version, run freeze (nil
+// skips index snapshotting) to capture index state in memory, and rotate
+// the WAL so every post-fork write lands in a fresh segment.
+//
+// Write (unquiesced, long): serialize the pinned view and frozen indexes
+// to checkpoint.tmp, fsync the tree, atomically swap it in as the current
+// checkpoint, then delete the sealed WAL segments the checkpoint covers —
+// all while new writes commit into the live lake and the rotated WAL.
+//
+// Returns the checkpoint's lake version. Concurrent calls do not queue:
+// the second fails fast with ErrCheckpointInFlight.
+func (s *Store) Checkpoint(freeze FreezeFunc) (uint64, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return 0, fmt.Errorf("durable: store closed")
 	}
+	if s.checkpointing {
+		s.mu.Unlock()
+		return 0, ErrCheckpointInFlight
+	}
+	s.checkpointing = true
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.checkpointing = false
+		s.mu.Unlock()
+		s.ckptIdle.Broadcast()
+	}()
 
-	var version uint64
-	err := s.lake.Quiesce(func(v uint64) error {
-		version = v
-		tmp := s.checkpointDir() + ".tmp"
-		if err := os.RemoveAll(tmp); err != nil {
-			return fmt.Errorf("durable: clear checkpoint.tmp: %w", err)
-		}
-		if err := lakeio.Save(s.lake, tmp); err != nil {
-			return fmt.Errorf("durable: save catalog: %w", err)
-		}
-		if saveIndexes != nil {
-			if err := saveIndexes(tmp, v); err != nil {
-				return fmt.Errorf("durable: save indexes: %w", err)
+	// --- fork phase (lake quiesced) ---
+	forkStart := time.Now()
+	var write WriteFunc
+	var sealedSeq int
+	view, err := s.lake.Fork(func(v *datalake.View) error {
+		if freeze != nil {
+			w, ferr := freeze(v.Version())
+			if ferr != nil {
+				return fmt.Errorf("durable: freeze indexes: %w", ferr)
 			}
+			write = w
 		}
-		if err := writeCheckpointMeta(tmp, checkpointMeta{Format: 1, Version: v, CreatedUnix: time.Now().Unix()}); err != nil {
-			return err
+		seq, rerr := s.log.Rotate()
+		if rerr != nil {
+			return rerr
 		}
-		// Durability ordering: the WAL segments this checkpoint covers are
-		// deleted below, so the checkpoint itself must be on stable
-		// storage first — every file and directory of the tree, then the
-		// renames that promote it (fsync of the parent directory). Skip
-		// any of these and a power loss after truncation loses
-		// acknowledged writes that only the (now deleted) WAL held.
-		if err := syncTree(tmp); err != nil {
-			return fmt.Errorf("durable: sync checkpoint tree: %w", err)
-		}
-		if err := s.swapCheckpoint(tmp); err != nil {
-			return err
-		}
-		if err := syncDir(s.dir); err != nil {
-			return fmt.Errorf("durable: sync data dir: %w", err)
-		}
-		if err := s.log.Rotate(); err != nil {
-			return err
-		}
-		if err := s.log.TruncateThrough(v); err != nil {
-			return err
-		}
+		sealedSeq = seq
 		return nil
 	})
 	if err != nil {
 		return 0, err
 	}
+	forkDur := time.Since(forkStart)
+	version := view.Version()
+
+	// --- write phase (ingestion running) ---
+	writeStart := time.Now()
+	tmp := s.checkpointDir() + ".tmp"
+	if err := s.fs.RemoveAll(tmp); err != nil {
+		return 0, fmt.Errorf("durable: clear checkpoint.tmp: %w", err)
+	}
+	if err := lakeio.Save(view, tmp); err != nil {
+		return 0, fmt.Errorf("durable: save catalog: %w", err)
+	}
+	if write != nil {
+		if err := write(tmp); err != nil {
+			return 0, fmt.Errorf("durable: save indexes: %w", err)
+		}
+	}
+	if err := writeCheckpointMeta(s.fs, tmp, checkpointMeta{Format: 1, Version: version, CreatedUnix: time.Now().Unix()}); err != nil {
+		return 0, err
+	}
+	// Durability ordering: the WAL segments this checkpoint covers are
+	// deleted below, so the checkpoint itself must be on stable storage
+	// first — every file and directory of the tree, then the renames that
+	// promote it (fsync of the parent directory). Skip any of these and a
+	// power loss after truncation loses acknowledged writes that only the
+	// (now deleted) WAL held.
+	if err := syncTree(s.fs, tmp); err != nil {
+		return 0, fmt.Errorf("durable: sync checkpoint tree: %w", err)
+	}
+	if err := s.swapCheckpoint(tmp); err != nil {
+		return 0, err
+	}
+	if err := syncDir(s.fs, s.dir); err != nil {
+		return 0, fmt.Errorf("durable: sync data dir: %w", err)
+	}
+	// Only segments sealed at the fork's rotation point are eligible: a
+	// segment sealed later may hold a source registration the forked view
+	// predates.
+	if err := s.log.TruncateThrough(version, sealedSeq); err != nil {
+		return 0, err
+	}
 	s.mu.Lock()
 	s.ckptVersion = version
 	s.lastCheckpoint = time.Now()
+	s.forkDur = forkDur
+	s.writeDur = time.Since(writeStart)
 	s.mu.Unlock()
 	return version, nil
 }
@@ -367,20 +483,20 @@ func (s *Store) Checkpoint(saveIndexes func(dir string, version uint64) error) (
 func (s *Store) swapCheckpoint(tmp string) error {
 	cur := s.checkpointDir()
 	old := cur + ".old"
-	if err := os.RemoveAll(old); err != nil {
+	if err := s.fs.RemoveAll(old); err != nil {
 		return fmt.Errorf("durable: clear checkpoint.old: %w", err)
 	}
-	if _, err := os.Stat(cur); err == nil {
-		if err := os.Rename(cur, old); err != nil {
+	if _, err := s.fs.Stat(cur); err == nil {
+		if err := s.fs.Rename(cur, old); err != nil {
 			return fmt.Errorf("durable: retire checkpoint: %w", err)
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("durable: stat checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, cur); err != nil {
+	if err := s.fs.Rename(tmp, cur); err != nil {
 		return fmt.Errorf("durable: promote checkpoint: %w", err)
 	}
-	if err := os.RemoveAll(old); err != nil {
+	if err := s.fs.RemoveAll(old); err != nil {
 		return fmt.Errorf("durable: remove retired checkpoint: %w", err)
 	}
 	return nil
@@ -399,6 +515,8 @@ func (s *Store) Stats() Stats {
 		Dir:               s.dir,
 		SyncPolicy:        s.opts.Sync.String(),
 		CheckpointVersion: s.ckptVersion,
+		LastForkNanos:     s.forkDur.Nanoseconds(),
+		LastWriteNanos:    s.writeDur.Nanoseconds(),
 		WALSegments:       ls.Segments,
 		WALBytes:          ls.Bytes,
 		WALRecords:        ls.Records,
@@ -411,22 +529,40 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Close detaches the durability hooks and closes the WAL (final fsync
-// included). It does not close the lake — the caller owns that — but must
-// be called after the lake stops accepting writes, or late writes would
-// commit without being logged. Idempotent.
+// Close detaches the durability hooks, closes the WAL (final fsync
+// included), and releases the directory lock — always, even when the WAL
+// close fails, so a failed shutdown never wedges the directory. An
+// in-flight checkpoint is waited out first (new ones are refused): its
+// write phase renames checkpoint directories and deletes WAL segments,
+// and releasing the cross-process lock mid-phase would let a second
+// process open a directory still being mutated. Close does not close the
+// lake — the caller owns that — but must be called after the lake stops
+// accepting writes, or late writes would commit without being logged.
+// Idempotent; concurrent calls wait for the first to pass the checkpoint
+// barrier.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closed {
+		// A concurrent first closer may still be waiting out a
+		// checkpoint; hold the same barrier so no caller returns while
+		// the directory is mid-mutation.
+		for s.checkpointing {
+			s.ckptIdle.Wait()
+		}
 		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	for s.checkpointing {
+		s.ckptIdle.Wait()
+	}
 	armed := s.armed
 	s.mu.Unlock()
 	if armed {
 		s.lake.SetCommitHook(nil)
 		s.lake.SetSourceHook(nil)
 	}
-	return s.log.Close()
+	err := s.log.Close()
+	s.lock.release()
+	return err
 }

@@ -1,0 +1,59 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"syscall"
+)
+
+// ErrLocked reports a data directory already owned by another process (or
+// another open Store in this one). Detect it with errors.Is.
+var ErrLocked = errors.New("durable: data directory locked by another process")
+
+// lockFile is the advisory-lock marker inside the data directory. Only
+// the flock on the open descriptor matters — the file's presence or
+// content (a best-effort PID, for operators) proves nothing, so a crashed
+// process never leaves the directory stuck: the kernel drops its lock
+// with its descriptors.
+const lockFile = "LOCK"
+
+// dirLock is a held cross-process lock on a data directory.
+type dirLock struct {
+	f *os.File
+}
+
+// acquireDirLock takes the exclusive flock on dir's lockfile without
+// blocking; a second opener — any process, including this one through a
+// separate Open — gets ErrLocked immediately. The lock lives on the real
+// filesystem regardless of any injected FS: a simulated crash must not
+// release a real lock early, and a real crash releases it via the kernel.
+func acquireDirLock(dir string) (*dirLock, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open lockfile: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+			return nil, fmt.Errorf("%w (dir %s)", ErrLocked, dir)
+		}
+		return nil, fmt.Errorf("durable: flock lockfile: %w", err)
+	}
+	// Best-effort PID stamp so an operator can see who holds the directory.
+	_ = f.Truncate(0)
+	_, _ = f.WriteAt([]byte(strconv.Itoa(os.Getpid())+"\n"), 0)
+	return &dirLock{f: f}, nil
+}
+
+// release drops the lock and closes the descriptor. Idempotent.
+func (dl *dirLock) release() {
+	if dl == nil || dl.f == nil {
+		return
+	}
+	_ = syscall.Flock(int(dl.f.Fd()), syscall.LOCK_UN)
+	_ = dl.f.Close()
+	dl.f = nil
+}

@@ -6,14 +6,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/faultfs"
 )
 
 // readCheckpointMeta returns the checkpoint metadata under dir, nil when
 // the directory (or its meta file) is absent or unreadable — an absent or
 // half-written checkpoint is "no checkpoint", not an error; only an
 // unreadable filesystem is.
-func readCheckpointMeta(dir string) (*checkpointMeta, error) {
-	data, err := os.ReadFile(filepath.Join(dir, metaFile))
+func readCheckpointMeta(fs faultfs.FS, dir string) (*checkpointMeta, error) {
+	data, err := fs.ReadFile(filepath.Join(dir, metaFile))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
@@ -31,12 +33,12 @@ func readCheckpointMeta(dir string) (*checkpointMeta, error) {
 
 // writeCheckpointMeta writes the validity marker last: a checkpoint
 // directory is only real once its meta file parses.
-func writeCheckpointMeta(dir string, meta checkpointMeta) error {
+func writeCheckpointMeta(fs faultfs.FS, dir string, meta checkpointMeta) error {
 	data, err := json.MarshalIndent(&meta, "", "  ")
 	if err != nil {
 		return fmt.Errorf("durable: marshal checkpoint meta: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, metaFile), data, 0o644); err != nil {
+	if err := fs.WriteFile(filepath.Join(dir, metaFile), data, 0o644); err != nil {
 		return fmt.Errorf("durable: write checkpoint meta: %w", err)
 	}
 	return nil
@@ -44,19 +46,33 @@ func writeCheckpointMeta(dir string, meta checkpointMeta) error {
 
 // syncTree fsyncs every file and directory under root (root included), so
 // a completed checkpoint survives power loss, not just process death.
-func syncTree(root string) error {
-	return filepath.Walk(root, func(path string, _ os.FileInfo, err error) error {
-		if err != nil {
+func syncTree(fs faultfs.FS, root string) error {
+	if err := syncDir(fs, root); err != nil {
+		return err
+	}
+	entries, err := fs.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		path := filepath.Join(root, e.Name())
+		if e.IsDir() {
+			if err := syncTree(fs, path); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := syncDir(fs, path); err != nil {
 			return err
 		}
-		return syncDir(path)
-	})
+	}
+	return nil
 }
 
 // syncDir fsyncs one file or directory by path. Directory fsync persists
 // the entries (renames, creates) inside it.
-func syncDir(path string) error {
-	f, err := os.Open(path)
+func syncDir(fs faultfs.FS, path string) error {
+	f, err := fs.Open(path)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,137 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPassthrough checks the OS implementation and an unarmed Faulty both
+// behave like the os package.
+func TestPassthrough(t *testing.T) {
+	for _, fs := range []FS{OS, New(OS)} {
+		dir := t.TempDir()
+		if err := fs.MkdirAll(filepath.Join(dir, "a", "b"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "a", "b", "f.txt")
+		f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := fs.ReadFile(path)
+		if err != nil || string(data) != "hello" {
+			t.Fatalf("ReadFile = %q, %v", data, err)
+		}
+		if err := fs.Truncate(path, 2); err != nil {
+			t.Fatal(err)
+		}
+		moved := filepath.Join(dir, "a", "moved.txt")
+		if err := fs.Rename(path, moved); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := fs.ReadDir(filepath.Join(dir, "a"))
+		if err != nil || len(entries) != 2 {
+			t.Fatalf("ReadDir = %v, %v", entries, err)
+		}
+		if _, err := fs.Stat(moved); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Remove(moved); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.RemoveAll(filepath.Join(dir, "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashAt checks the kill point fires on the exact mutating op, that
+// everything after it fails, and that reads keep working.
+func TestCrashAt(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(OS)
+	path := filepath.Join(dir, "f.txt")
+	if err := ffs.WriteFile(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.CrashAt(2, false) // resets the op counter; next op is #1
+	if err := ffs.WriteFile(path+"2", []byte("two"), 0o644); err != nil {
+		t.Fatalf("op before the kill point failed: %v", err)
+	}
+	if err := ffs.WriteFile(path+"3", []byte("three"), 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("kill-point op error = %v, want ErrCrashed", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("Crashed() = false after the kill point")
+	}
+	if err := ffs.Rename(path, path+".r"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename error = %v, want ErrCrashed", err)
+	}
+	if _, err := os.Stat(path + "3"); !os.IsNotExist(err) {
+		t.Fatal("kill-point WriteFile persisted data in non-torn mode")
+	}
+	// Reads survive the crash (the test harness inspects state through them).
+	if data, err := ffs.ReadFile(path); err != nil || string(data) != "one" {
+		t.Fatalf("post-crash read = %q, %v", data, err)
+	}
+}
+
+// TestTornWrite checks torn mode persists a strict prefix at the kill
+// point.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(OS)
+	path := filepath.Join(dir, "f.log")
+	f, err := ffs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ffs.CrashAt(1, true)
+	if _, err := f.Write([]byte("0123456789")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write error = %v, want ErrCrashed", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || len(data) >= 10 {
+		t.Fatalf("torn write persisted %d bytes, want a strict non-empty prefix of 10", len(data))
+	}
+}
+
+// TestFailOn checks the targeted error hook fires without a kill point.
+func TestFailOn(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(OS)
+	boom := errors.New("boom")
+	ffs.SetFailOn(func(op Op, path string) error {
+		if op == OpSync {
+			return boom
+		}
+		return nil
+	})
+	f, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write with sync-only hook failed: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync error = %v, want boom", err)
+	}
+}

@@ -20,11 +20,20 @@ type postingSnap struct {
 	Freq int32
 }
 
-// Save writes a compacted snapshot of the index to w using encoding/gob.
-// The analyzer is not serialized (functions cannot be); the loader supplies
-// it, and the caller is responsible for supplying the same chain that built
-// the index.
-func (ix *Index) Save(w io.Writer) error {
+// Frozen is an immutable, compacted capture of an index's contents,
+// decoupled from the live structure: Freeze builds it quickly under the
+// read lock (pure memory copies), Save serializes it later with no index
+// locks held — the split that lets a checkpoint's long write phase run
+// while ingestion keeps mutating the live index.
+type Frozen struct {
+	snap snapshot
+}
+
+// Freeze captures the index's current live contents. Tombstoned documents
+// are compacted away, so a frozen capture never carries dead postings.
+// The analyzer is not captured (functions cannot serialize); the loader
+// supplies it.
+func (ix *Index) Freeze() *Frozen {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
@@ -54,10 +63,24 @@ func (ix *Index) Save(w io.Writer) error {
 			snap.Postings[t] = out
 		}
 	}
-	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+	return &Frozen{snap: snap}
+}
+
+// Save serializes the frozen capture to w using encoding/gob.
+func (z *Frozen) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(&z.snap); err != nil {
 		return fmt.Errorf("invindex: encode snapshot: %w", err)
 	}
 	return nil
+}
+
+// Save writes a compacted snapshot of the index to w using encoding/gob:
+// Freeze then Frozen.Save in one call, for callers that do not need the
+// two-phase split. The analyzer is not serialized; the loader supplies it,
+// and the caller is responsible for supplying the same chain that built
+// the index.
+func (ix *Index) Save(w io.Writer) error {
+	return ix.Freeze().Save(w)
 }
 
 // Load reads a snapshot produced by Save. Options (typically WithAnalyzer)

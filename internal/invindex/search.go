@@ -43,14 +43,24 @@ func (ix *Index) SearchTerms(terms []string, k int) []Hit {
 	n := float64(ix.liveDocs)
 
 	// Collapse duplicate query terms; BM25 treats repeated query terms as
-	// multiplied weight.
+	// multiplied weight. Terms are then scored in sorted order: per-doc
+	// score accumulation is floating-point addition, which is not
+	// associative, so map-order iteration would make the same query score
+	// the same document differently across calls (a last-ULP flicker that
+	// can reorder near-tied rankings).
 	qf := make(map[string]float64, len(terms))
 	for _, t := range terms {
 		qf[t]++
 	}
+	uniq := make([]string, 0, len(qf))
+	for t := range qf {
+		uniq = append(uniq, t)
+	}
+	sort.Strings(uniq)
 
 	scores := make(map[int32]float64)
-	for t, qw := range qf {
+	for _, t := range uniq {
+		qw := qf[t]
 		plist, ok := ix.postings[t]
 		if !ok {
 			continue

@@ -44,9 +44,24 @@ type docEntry struct {
 	File     string `json:"file"`
 }
 
+// Catalog is the read surface Save serializes: both the live
+// *datalake.Lake and a pinned *datalake.View satisfy it, so a checkpoint
+// can serialize a forked view with no lake locks held while ingestion
+// continues, through exactly the code that writes a live lake.
+type Catalog interface {
+	Sources() []datalake.Source
+	TableIDs() []string
+	Table(id string) (*table.Table, bool)
+	DocIDs() []string
+	Document(id string) (*doc.Document, bool)
+	Triples() []kg.Triple
+}
+
 // Save writes the lake to dir, creating it if needed. Existing files are
-// overwritten; unrelated files in dir are left alone.
-func Save(lake *datalake.Lake, dir string) error {
+// overwritten; unrelated files in dir are left alone. For a consistent
+// snapshot under concurrent ingestion, pass a pinned view (datalake.Fork)
+// instead of the live lake.
+func Save(lake Catalog, dir string) error {
 	for _, sub := range []string{"", "tables", "texts"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return fmt.Errorf("lakeio: mkdir: %w", err)
@@ -87,7 +102,7 @@ func Save(lake *datalake.Lake, dir string) error {
 		m.Docs = append(m.Docs, docEntry{ID: did, Title: d.Title, EntityID: d.EntityID, SourceID: d.SourceID, File: rel})
 	}
 
-	m.Triples = lake.Graph().Triples()
+	m.Triples = lake.Triples()
 
 	data, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {

@@ -7,7 +7,10 @@
 //	POST /v1/ingest/document  {"id": "...", "title": "...", "text": "...", "source_id": "..."}
 //	POST /v1/ingest/triple    {"subject": "...", "predicate": "...", "object": "...", "source_id": "..."}
 //	POST /v1/ingest/batch     {"items": [{"type": "table"|"document"|"triple", ...}, ...]}
-//	POST /v1/admin/checkpoint durable checkpoint (404 on in-memory deployments)
+//	POST /v1/admin/checkpoint durable checkpoint (404 on in-memory
+//	                          deployments, 409 when one is already running);
+//	                          non-blocking: ingestion stalls only for the
+//	                          short fork phase, not the snapshot write
 //	GET  /v1/lake/version     current monotonic lake version
 //	GET  /v1/stats            lake statistics (+ durability posture when durable)
 //	GET  /v1/provenance?seq=N one lineage record
@@ -518,7 +521,14 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	version, err := s.checkpoint()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		// Checkpoints overlap ingestion but not each other: a request that
+		// finds one already running conflicts (409) rather than failing —
+		// the in-flight checkpoint covers the caller's intent.
+		status := http.StatusInternalServerError
+		if errors.Is(err, durable.ErrCheckpointInFlight) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "checkpoint: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, CheckpointResponse{Status: "checkpointed", Version: version})

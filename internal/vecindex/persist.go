@@ -8,6 +8,29 @@ import (
 	"repro/internal/embed"
 )
 
+// Frozen is an immutable capture of one index's live contents, produced
+// by the Freeze methods under the index's read lock (cheap: ID and vector
+// *references* are copied, and vectors are never mutated in place after
+// Add) and serialized later by Save with no index locks held. This is the
+// clone-or-COW half of a two-phase checkpoint: the live index keeps
+// absorbing writes while a frozen capture streams to disk.
+type Frozen interface {
+	// Save serializes the capture to w using encoding/gob.
+	Save(w io.Writer) error
+}
+
+// frozenSnap is the one Frozen implementation behind all three families:
+// snap holds a pointer to the concrete snapshot struct (so gob encodes
+// the struct itself, exactly as a direct Encode(&snap) would).
+type frozenSnap struct{ snap any }
+
+func (z *frozenSnap) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(z.snap); err != nil {
+		return fmt.Errorf("vecindex: encode snapshot: %w", err)
+	}
+	return nil
+}
+
 // flatSnapshot is the serialized form of a Flat index (the analogue of
 // Faiss's write_index for IndexFlat).
 type flatSnapshot struct {
@@ -17,9 +40,9 @@ type flatSnapshot struct {
 	Vecs   [][]float32
 }
 
-// Save writes the index to w using encoding/gob. Tombstoned (removed)
-// vectors are compacted away, so a load round-trip yields only live entries.
-func (f *Flat) Save(w io.Writer) error {
+// Freeze captures the index's live vectors. Tombstoned (removed) vectors
+// are compacted away, so a load round-trip yields only live entries.
+func (f *Flat) Freeze() Frozen {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	snap := flatSnapshot{
@@ -35,11 +58,12 @@ func (f *Flat) Save(w io.Writer) error {
 		snap.IDs = append(snap.IDs, f.ids[i])
 		snap.Vecs = append(snap.Vecs, v)
 	}
-	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
-		return fmt.Errorf("vecindex: encode snapshot: %w", err)
-	}
-	return nil
+	return &frozenSnap{snap: &snap}
 }
+
+// Save writes the index to w using encoding/gob (Freeze + Frozen.Save in
+// one call).
+func (f *Flat) Save(w io.Writer) error { return f.Freeze().Save(w) }
 
 // LoadFlat reads a snapshot produced by Flat.Save.
 func LoadFlat(r io.Reader) (*Flat, error) {
@@ -95,9 +119,11 @@ type ivfSnapshot struct {
 	Cells []int32
 }
 
-// Save writes the index to w using encoding/gob. Tombstoned vectors are
-// compacted away; cell assignments are preserved exactly.
-func (ix *IVF) Save(w io.Writer) error {
+// Freeze captures the index's live vectors, trained centroids, and exact
+// cell assignments. Tombstoned vectors are compacted away. Centroid
+// references are safe to share: Train replaces the centroid slice
+// wholesale, never mutating vectors in place.
+func (ix *IVF) Freeze() Frozen {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	snap := ivfSnapshot{
@@ -129,11 +155,12 @@ func (ix *IVF) Save(w io.Writer) error {
 			}
 		}
 	}
-	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
-		return fmt.Errorf("vecindex: encode snapshot: %w", err)
-	}
-	return nil
+	return &frozenSnap{snap: &snap}
 }
+
+// Save writes the index to w using encoding/gob (Freeze + Frozen.Save in
+// one call). Cell assignments are preserved exactly.
+func (ix *IVF) Save(w io.Writer) error { return ix.Freeze().Save(w) }
 
 // LoadIVF reads a snapshot produced by IVF.Save, restoring the trained
 // centroids and exact cell assignments.
@@ -192,9 +219,10 @@ type lshSnapshot struct {
 	Vecs    [][]float32
 }
 
-// Save writes the index to w using encoding/gob. Tombstoned vectors are
-// compacted away.
-func (ix *LSH) Save(w io.Writer) error {
+// Freeze captures the index's live vectors. Tombstoned vectors are
+// compacted away; the hyperplane family is a pure function of the stored
+// parameters, so buckets are not captured.
+func (ix *LSH) Freeze() Frozen {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	snap := lshSnapshot{
@@ -209,11 +237,12 @@ func (ix *LSH) Save(w io.Writer) error {
 		snap.IDs = append(snap.IDs, ix.ids[ord])
 		snap.Vecs = append(snap.Vecs, v)
 	}
-	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
-		return fmt.Errorf("vecindex: encode snapshot: %w", err)
-	}
-	return nil
+	return &frozenSnap{snap: &snap}
 }
+
+// Save writes the index to w using encoding/gob (Freeze + Frozen.Save in
+// one call).
+func (ix *LSH) Save(w io.Writer) error { return ix.Freeze().Save(w) }
 
 // LoadLSH reads a snapshot produced by LSH.Save.
 func LoadLSH(r io.Reader) (*LSH, error) {

@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// fuzzSeedFrames builds a buffer of n valid frames for the fuzz corpus.
+func fuzzSeedFrames(n int) []byte {
+	var buf bytes.Buffer
+	for v := 1; v <= n; v++ {
+		if err := appendFrame(&buf, docRecord(uint64(v), fmt.Sprintf("d%d", v))); err != nil {
+			panic(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFrames fuzzes the WAL's record decoder with arbitrary bytes —
+// the exact input replay sees after a crash left a torn tail, a partial
+// header, bit rot, or garbage in a segment file. The decoder must never
+// panic, never allocate from a corrupt length, always make forward
+// progress on valid frames, and classify every failure as either torn
+// (quiet: an interrupted append) or corrupt (loud error) — silently
+// skipping bytes is data loss.
+func FuzzDecodeFrames(f *testing.F) {
+	valid := fuzzSeedFrames(3)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])                     // torn final frame
+	f.Add(valid[:frameHeaderSize-2])                // torn header
+	f.Add([]byte{})                                 // empty segment
+	f.Add([]byte("not a frame at allated garbage")) // garbage
+	// Corrupt CRC on an otherwise intact frame.
+	crcFlip := append([]byte(nil), valid...)
+	crcFlip[5] ^= 0xff
+	f.Add(crcFlip)
+	// Corrupt payload byte (CRC mismatch downstream).
+	payloadFlip := append([]byte(nil), valid...)
+	payloadFlip[frameHeaderSize+3] ^= 0x10
+	f.Add(payloadFlip)
+	// Absurd declared length (must be rejected, not allocated).
+	huge := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(huge[0:4], uint32(maxRecordSize+1))
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off := 0
+		for off < len(data) {
+			rec, next, torn, err := decodeFrame(data, off)
+			if torn && err != nil {
+				t.Fatalf("offset %d: both torn and corrupt (%v)", off, err)
+			}
+			if torn || err != nil {
+				// Either outcome ends replay; a torn tail is truncated,
+				// corruption is surfaced. Both are terminal, never skipped.
+				return
+			}
+			if next <= off {
+				t.Fatalf("offset %d: decode made no progress (next %d)", off, next)
+			}
+			if next > len(data) {
+				t.Fatalf("offset %d: decode overran the buffer (next %d > %d)", off, next, len(data))
+			}
+			// A frame that decodes must round-trip: its payload length is
+			// consistent with the consumed bytes.
+			if rec.Kind == "" && rec.Version == 0 && rec.Table == nil && rec.Doc == nil && rec.Triple == nil && rec.Source == nil {
+				// Legal (an empty JSON object) — just must not panic.
+				_ = rec
+			}
+			off = next
+		}
+	})
+}
+
+// TestReplayStreamsAllRecords checks Log.Replay re-reads everything from
+// disk in append order across rotations — the streaming path recovery
+// uses instead of buffering the tail in memory.
+func TestReplayStreamsAllRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openReplay(t, dir, Options{Sync: SyncNone, SegmentBytes: 256})
+	const n = 40
+	for v := uint64(1); v <= n; v++ {
+		if err := l.Append(docRecord(v, fmt.Sprintf("d%03d", v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Segments < 3 {
+		t.Fatalf("want >= 3 segments, got %d", l.Stats().Segments)
+	}
+	var got []Record
+	if err := l.Replay(func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("Replay delivered %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if r.Version != uint64(i+1) {
+			t.Fatalf("record %d has version %d, want %d (order lost)", i, r.Version, i+1)
+		}
+	}
+	// Replay is repeatable (it reads from disk, consuming nothing).
+	count := 0
+	if err := l.Replay(func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("second Replay delivered %d records, want %d", count, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

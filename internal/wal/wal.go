@@ -29,6 +29,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/faultfs"
 )
 
 // SyncPolicy selects when appended records are fsynced to stable storage.
@@ -81,6 +83,9 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size;
 	// <= 0 means 16 MiB.
 	SegmentBytes int64
+	// FS is the filesystem the log writes through (default the real OS).
+	// The crash-consistency suite injects a faultfs.Faulty here.
+	FS faultfs.FS
 }
 
 const (
@@ -117,14 +122,15 @@ type Stats struct {
 }
 
 // Log is an open write-ahead log. Append, Sync, Rotate, TruncateThrough,
-// and Stats are safe for concurrent use.
+// Replay, and Stats are safe for concurrent use.
 type Log struct {
 	dir  string
 	opts Options
+	fs   faultfs.FS
 
 	mu     sync.Mutex
 	segs   []segment
-	active *os.File
+	active faultfs.File
 	dirty  bool
 	// sticky records an append failure that could not be rolled back
 	// (truncate failed); every subsequent append refuses with it, so the
@@ -149,11 +155,14 @@ func Open(dir string, opts Options, fn func(Record) error) (*Log, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = defaultSegmentBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = faultfs.OS
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: mkdir: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts}
-	seqs, err := listSegments(dir)
+	l := &Log{dir: dir, opts: opts, fs: opts.FS}
+	seqs, err := listSegments(opts.FS, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +177,7 @@ func Open(dir string, opts Options, fn func(Record) error) (*Log, error) {
 		}
 	} else {
 		last := &l.segs[len(l.segs)-1]
-		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := l.fs.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: open active segment: %w", err)
 		}
@@ -183,8 +192,8 @@ func Open(dir string, opts Options, fn func(Record) error) (*Log, error) {
 }
 
 // listSegments returns the segment sequence numbers in dir, ascending.
-func listSegments(dir string) ([]int, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fs faultfs.FS, dir string) ([]int, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: read dir: %w", err)
 	}
@@ -213,7 +222,7 @@ func segmentPath(dir string, seq int) string {
 // error, as is any CRC or decode failure.
 func (l *Log) replaySegment(seq int, last bool, fn func(Record) error) error {
 	path := segmentPath(l.dir, seq)
-	data, err := os.ReadFile(path)
+	data, err := l.fs.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("wal: read segment: %w", err)
 	}
@@ -229,7 +238,7 @@ func (l *Log) replaySegment(seq int, last bool, fn func(Record) error) error {
 				return fmt.Errorf("wal: segment %s: truncated record at offset %d in sealed segment", filepath.Base(path), off)
 			}
 			dropped := int64(len(data) - off)
-			if err := os.Truncate(path, int64(off)); err != nil {
+			if err := l.fs.Truncate(path, int64(off)); err != nil {
 				return fmt.Errorf("wal: truncate torn tail: %w", err)
 			}
 			l.tornBytes += dropped
@@ -260,12 +269,12 @@ func (l *Log) replaySegment(seq int, last bool, fn func(Record) error) error {
 // holds mu (or is still single-goroutine during Open).
 func (l *Log) openSegment(seq int) error {
 	path := segmentPath(l.dir, seq)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
 	if l.opts.Sync != SyncNone {
-		if err := syncPath(l.dir); err != nil {
+		if err := syncPath(l.fs, l.dir); err != nil {
 			f.Close()
 			return fmt.Errorf("wal: sync log dir: %w", err)
 		}
@@ -276,8 +285,8 @@ func (l *Log) openSegment(seq int) error {
 }
 
 // syncPath fsyncs a file or directory by path.
-func syncPath(path string) error {
-	f, err := os.Open(path)
+func syncPath(fs faultfs.FS, path string) error {
+	f, err := fs.Open(path)
 	if err != nil {
 		return err
 	}
@@ -348,14 +357,12 @@ func (l *Log) Append(recs ...Record) error {
 		}
 	}
 	if seg.bytes >= l.opts.SegmentBytes {
-		if err := l.rotateLocked(); err != nil {
-			// The records just appended are already as durable as the
-			// policy promises; only future appends are at risk. Poison
-			// them, but report success for this one — returning an error
-			// here would abort a commit whose record IS in the log, and
-			// the released version's reuse would corrupt replay.
-			l.sticky = fmt.Errorf("wal: rotate failed (%v); log is read-only", err)
-		}
+		// A rotate failure poisons the log (inside rotateLocked); only
+		// future appends are at risk. This append still reports success —
+		// the records ARE in the log, as durable as the policy promises,
+		// and an error here would abort a commit whose released version
+		// would then be reused, corrupting replay.
+		_, _ = l.rotateLocked()
 	}
 	return nil
 }
@@ -386,41 +393,59 @@ func (l *Log) syncLocked() error {
 }
 
 // Rotate seals the active segment (fsynced and closed) and opens a fresh
-// one, so a following TruncateThrough can drop everything before the
-// rotation point. A checkpoint rotates before truncating.
-func (l *Log) Rotate() error {
+// one, returning the sealed segment's sequence number so a following
+// TruncateThrough can be scoped to segments sealed at or before this
+// rotation point. A checkpoint rotates at its fork point and truncates
+// once the snapshot is durable.
+func (l *Log) Rotate() (sealed int, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return fmt.Errorf("wal: log closed")
+		return 0, fmt.Errorf("wal: log closed")
 	}
 	return l.rotateLocked()
 }
 
-func (l *Log) rotateLocked() error {
+// rotateLocked seals the active segment and opens the next one. A partial
+// rotation (sealed but no new segment, or a close that may have lost
+// buffered writes) leaves no segment safe to append to, so it poisons the
+// log rather than let a later Append dereference a nil active file or
+// write after a failed close.
+func (l *Log) rotateLocked() (int, error) {
 	if err := l.syncLocked(); err != nil {
-		return err
+		return 0, err
 	}
 	if err := l.active.Close(); err != nil {
-		return fmt.Errorf("wal: close sealed segment: %w", err)
+		l.active = nil
+		l.sticky = fmt.Errorf("wal: close sealed segment (%v); log is read-only", err)
+		return 0, l.sticky
 	}
 	l.active = nil
-	return l.openSegment(l.segs[len(l.segs)-1].seq + 1)
+	sealed := l.segs[len(l.segs)-1].seq
+	if err := l.openSegment(sealed + 1); err != nil {
+		l.sticky = fmt.Errorf("wal: rotate failed (%v); log is read-only", err)
+		return 0, l.sticky
+	}
+	return sealed, nil
 }
 
-// TruncateThrough deletes sealed segments whose every record is covered by
-// a checkpoint at version v (their highest event version is <= v). The
-// active segment is never deleted. A segment whose file refuses to unlink
-// stays tracked (retried at the next checkpoint); one already gone counts
-// as removed.
-func (l *Log) TruncateThrough(v uint64) error {
+// TruncateThrough deletes sealed segments with sequence <= throughSeq
+// whose every record is covered by a checkpoint at version v (their
+// highest event version is <= v). The sequence bound matters because a
+// checkpoint's write phase overlaps ingestion: a segment sealed after the
+// checkpoint forked may contain a source registration stamped at or below
+// v that the forked snapshot does not hold, so only segments sealed at the
+// fork's rotation point are eligible. The active segment is never deleted.
+// A segment whose file refuses to unlink stays tracked (retried at the
+// next checkpoint); one already gone counts as removed.
+func (l *Log) TruncateThrough(v uint64, throughSeq int) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	kept := make([]segment, 0, len(l.segs))
 	var firstErr error
 	for i, seg := range l.segs {
-		if i < len(l.segs)-1 && seg.maxVersion <= v {
-			err := os.Remove(seg.path)
+		if i < len(l.segs)-1 && seg.seq <= throughSeq && seg.maxVersion <= v {
+			err := l.fs.Remove(seg.path)
 			if err == nil || errors.Is(err, os.ErrNotExist) {
 				continue
 			}
@@ -432,6 +457,54 @@ func (l *Log) TruncateThrough(v uint64) error {
 	}
 	l.segs = kept
 	return firstErr
+}
+
+// Replay streams every record currently in the log through fn in append
+// order, re-reading the segment files from disk — memory use is bounded by
+// one segment, not the log size, which is what lets recovery replay an
+// arbitrarily long tail in bounded batches. The segment list and sizes are
+// snapshotted up front, so records appended concurrently (or segments
+// truncated away) after the call starts are not observed; recovery calls
+// it before arming the durability hooks, when the log is quiet. fn
+// returning an error aborts the replay.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	type span struct {
+		path  string
+		bytes int64
+	}
+	spans := make([]span, len(l.segs))
+	for i, seg := range l.segs {
+		spans[i] = span{path: seg.path, bytes: seg.bytes}
+	}
+	l.mu.Unlock()
+	for _, sp := range spans {
+		data, err := l.fs.ReadFile(sp.path)
+		if err != nil {
+			return fmt.Errorf("wal: replay segment: %w", err)
+		}
+		if int64(len(data)) > sp.bytes {
+			data = data[:sp.bytes]
+		}
+		off := 0
+		for off < len(data) {
+			rec, next, torn, err := decodeFrame(data, off)
+			if err != nil {
+				return fmt.Errorf("wal: replay segment %s: %w", filepath.Base(sp.path), err)
+			}
+			if torn {
+				// Open truncated any torn tail already; a torn frame here
+				// means the file shrank under us, which snapshotting sizes
+				// is supposed to prevent.
+				return fmt.Errorf("wal: replay segment %s: unexpected torn frame at offset %d", filepath.Base(sp.path), off)
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+			off = next
+		}
+	}
+	return nil
 }
 
 // Stats reports the log's current shape.

@@ -107,13 +107,14 @@ func TestSegmentRotationAndTruncate(t *testing.T) {
 	}
 
 	// A checkpoint at version 4 drops every sealed segment at or below it.
-	if err := l.Rotate(); err != nil {
+	sealed, err := l.Rotate()
+	if err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Append(docRecord(7, "d")); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.TruncateThrough(4); err != nil {
+	if err := l.TruncateThrough(4, sealed); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -230,7 +231,7 @@ func TestTornTailInSealedSegmentFailsLoudly(t *testing.T) {
 		t.Fatal(err)
 	}
 	sealed := lastSegment(t, dir)
-	if err := l.Rotate(); err != nil {
+	if _, err := l.Rotate(); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Append(docRecord(2, "d")); err != nil {
@@ -293,7 +294,7 @@ func TestTruncateThroughMissingSegment(t *testing.T) {
 	if err := os.Remove(segmentPath(dir, l.segs[0].seq)); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.TruncateThrough(4); err != nil {
+	if err := l.TruncateThrough(4, l.segs[len(l.segs)-1].seq); err != nil {
 		t.Fatalf("TruncateThrough over a missing segment: %v", err)
 	}
 	if got := l.Stats().Segments; got != 1 {

@@ -1,6 +1,7 @@
 package verifai
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -224,6 +225,104 @@ func TestDurableTornTailRecovery(t *testing.T) {
 	if ds.WALTornBytes == 0 {
 		t.Error("WALTornBytes = 0, want > 0")
 	}
+}
+
+// TestCheckpointDuringIngestRecovery overlaps System.Checkpoint with a
+// concurrent ingest burst — the two-phase protocol's whole point — then
+// kills and recovers. Whatever the interleaving, recovery must see every
+// acknowledged write: the checkpoint (pinned at its fork version, index
+// snapshot included) plus the WAL tail replayed through the indexer.
+func TestCheckpointDuringIngestRecovery(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data")
+	sys, err := Open(data, durableOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddTable(workload.USOpen1954Table()); err != nil {
+		t.Fatal(err)
+	}
+
+	const burst = 30
+	ingested := make(chan error, 1)
+	go func() {
+		for i := 0; i < burst; i++ {
+			if err := sys.AddDocument(&Document{
+				ID:   fmt.Sprintf("burst%03d", i),
+				Text: fmt.Sprintf("burst document %d ingested while a checkpoint writes", i),
+			}); err != nil {
+				ingested <- err
+				return
+			}
+		}
+		ingested <- nil
+	}()
+	ckptV, err := sys.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-ingested; err != nil {
+		t.Fatalf("ingest during checkpoint: %v", err)
+	}
+	want := sys.LakeVersion()
+	if want != burst+1 {
+		t.Fatalf("final version = %d, want %d", want, burst+1)
+	}
+	if ckptV > want {
+		t.Fatalf("checkpoint version %d beyond lake version %d", ckptV, want)
+	}
+
+	// Kill and recover from a crash image.
+	crash := filepath.Join(dir, "crash")
+	copyTree(t, data, crash)
+	recovered, err := Open(crash, durableOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if v := recovered.LakeVersion(); v != want {
+		t.Fatalf("recovered version = %d, want %d", v, want)
+	}
+	ds, _ := recovered.Durability()
+	if ds.CheckpointVersion != ckptV {
+		t.Errorf("recovered checkpoint version = %d, want %d", ds.CheckpointVersion, ckptV)
+	}
+	if got := uint64(ds.ReplayedRecords); got != want-ckptV {
+		t.Errorf("replayed %d records, want %d (the post-fork tail)", got, want-ckptV)
+	}
+	// Every burst document — whether it landed in the checkpoint or the
+	// tail — is present and retrievable through the recovered indexes.
+	for i := 0; i < burst; i++ {
+		id := fmt.Sprintf("burst%03d", i)
+		if _, ok := recovered.Pipeline().Lake().Document(id); !ok {
+			t.Fatalf("recovered lake lost %s", id)
+		}
+	}
+	got := recovered.Retrieve(NewClaimObject("q", workload.GolfClaim()), 5, KindTable)
+	if len(got) == 0 {
+		t.Error("recovered table index returned nothing")
+	}
+}
+
+// TestOpenLockedDataDir checks the cross-process lock at the public API:
+// a second Open of a live data dir fails fast with ErrDataDirLocked.
+func TestOpenLockedDataDir(t *testing.T) {
+	data := filepath.Join(t.TempDir(), "data")
+	sys, err := Open(data, durableOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(data, durableOpts(1)); !errors.Is(err, ErrDataDirLocked) {
+		t.Fatalf("second Open error = %v, want ErrDataDirLocked", err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := Open(data, durableOpts(1))
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	defer sys2.Close()
 }
 
 // TestOpenValidation covers the error surfaces of the durable API.
