@@ -12,6 +12,9 @@
 //	verifai demo
 //	    run the paper's Figure 1 and Figure 4 cases on the built-in case lake
 //	verifai serve -lake DIR -addr :8080 [-shards N] [-ingest-queue N]
+//	              [-verify-concurrency N] [-verify-timeout 30s]
+//	              [-read-timeout 30s] [-read-header-timeout 5s]
+//	              [-idle-timeout 2m]
 //	              [-data-dir DIR] [-fsync always|interval|none]
 //	              [-checkpoint-every 5m]
 //	    serve the verification pipeline as an HTTP JSON API over the live
@@ -20,7 +23,13 @@
 //	    lock and POST /v1/ingest/batch commits mixed batches under one
 //	    lock acquisition; -shards enables the sharded parallel
 //	    retrieval/applier layout, -ingest-queue bounds the in-flight
-//	    ingest event queue. With -data-dir the lake is durable: every
+//	    ingest event queue. The verify endpoints are admission-controlled
+//	    (-verify-concurrency; saturated requests answer 429) and
+//	    deadline-bounded (-verify-timeout; expiry aborts the pipeline
+//	    mid-flight and answers 504), repeated identical verifications hit
+//	    the versioned result cache, and the listener enforces
+//	    read/header/idle timeouts so slow or idle clients cannot pin
+//	    connections open. With -data-dir the lake is durable: every
 //	    acknowledged write lands in a write-ahead log before it commits,
 //	    checkpoints snapshot catalog+indexes (periodically with
 //	    -checkpoint-every, on demand via POST /v1/admin/checkpoint, and
@@ -305,6 +314,11 @@ func runServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	shards := fs.Int("shards", 0, "index shards per kind and family (0 = unsharded)")
 	ingestQueue := fs.Int("ingest-queue", 0, "bound on the in-flight ingest event queue (0 = default 256)")
+	verifyConcurrency := fs.Int("verify-concurrency", 0, "max concurrently admitted verify requests; beyond it requests answer 429 (0 = 4x GOMAXPROCS, <0 = unlimited)")
+	verifyTimeout := fs.Duration("verify-timeout", 30*time.Second, "per-request verification deadline; expiry aborts the pipeline and answers 504 (0 = client-bounded only)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max duration for reading an entire request, body included (0 = unlimited)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "max duration for reading request headers; defeats slowloris clients (0 = falls back to -read-timeout)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time between requests (0 = falls back to -read-timeout)")
 	dataDir := fs.String("data-dir", "", "durable data directory (WAL + checkpoints); empty serves in-memory")
 	fsync := fs.String("fsync", "interval", "WAL sync policy: always|interval|none (with -data-dir)")
 	checkpointEvery := fs.Duration("checkpoint-every", 0, "periodic checkpoint cadence, e.g. 5m (0 = only on shutdown and POST /v1/admin/checkpoint)")
@@ -313,7 +327,10 @@ func runServe(args []string) error {
 	}
 
 	var sys *verifai.System
-	var serverOpts []server.Option
+	serverOpts := []server.Option{server.WithVerifyTimeout(*verifyTimeout)}
+	if *verifyConcurrency != 0 {
+		serverOpts = append(serverOpts, server.WithVerifyConcurrency(*verifyConcurrency))
+	}
 	if *dataDir != "" {
 		var err error
 		sys, err = openDurable(*dataDir, *lakeDir, *seed, *exact, *shards, *ingestQueue, *fsync)
@@ -342,7 +359,19 @@ func runServe(args []string) error {
 	// and close the system so no accepted write is lost.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: server.New(sys.Pipeline(), serverOpts...)}
+	// The listener timeouts are the first line of defense against slow and
+	// idle clients: without them a slowloris peer trickling header bytes —
+	// or a connection that simply never sends anything — holds a
+	// goroutine+FD forever. WriteTimeout stays 0: verification responses
+	// are bounded by -verify-timeout, which cancels the work itself instead
+	// of silently snapping the connection under it.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(sys.Pipeline(), serverOpts...),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	if *dataDir != "" && *checkpointEvery > 0 {
 		go func() {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -18,6 +19,14 @@ import (
 // batch runs), the embedder cache and the provenance store are concurrent,
 // and verdict resolution is per-object.
 func (p *Pipeline) VerifyBatch(objects []verify.Generated, parallelism int, kinds ...datalake.Kind) ([]Report, error) {
+	return p.VerifyBatchCtx(context.Background(), objects, parallelism, kinds...)
+}
+
+// VerifyBatchCtx is VerifyBatch honoring a request context: cancellation
+// stops new objects from being dispatched and aborts each in-flight
+// verification at its next stage boundary, returning the context's error.
+// Individual objects hit the verify-result cache exactly as VerifyCtx does.
+func (p *Pipeline) VerifyBatchCtx(ctx context.Context, objects []verify.Generated, parallelism int, kinds ...datalake.Kind) ([]Report, error) {
 	if len(objects) == 0 {
 		return nil, nil
 	}
@@ -59,6 +68,7 @@ func (p *Pipeline) VerifyBatch(objects []verify.Generated, parallelism int, kind
 	if parallelism > 1 {
 		evidenceWorkers = 1
 	}
+	eff := p.normalizeKinds(kinds)
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
@@ -67,7 +77,7 @@ func (p *Pipeline) VerifyBatch(objects []verify.Generated, parallelism int, kind
 				if failed() {
 					continue // drain without working
 				}
-				rep, err := p.verifyWith(objects[i], evidenceWorkers, kinds...)
+				rep, err := p.verifyCached(ctx, objects[i], evidenceWorkers, eff)
 				if err != nil {
 					fail(fmt.Errorf("core: verify object %d (%s): %w", i, objects[i].ID, err))
 					continue
@@ -77,7 +87,7 @@ func (p *Pipeline) VerifyBatch(objects []verify.Generated, parallelism int, kind
 		}()
 	}
 	for i := range objects {
-		if failed() {
+		if failed() || ctx.Err() != nil {
 			break
 		}
 		jobs <- i
@@ -86,6 +96,12 @@ func (p *Pipeline) VerifyBatch(objects []verify.Generated, parallelism int, kind
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	// A cancellation that stopped dispatch without any worker observing it
+	// leaves undispatched zero-value reports; surface the context error
+	// rather than returning a silently partial batch.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return reports, nil
 }

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -509,8 +510,11 @@ const (
 // search fans retrieval out across shards × kinds × the requested families
 // on the bounded worker pool, merges each (kind, family) group's shard
 // results by score, and returns the ranked hits in deterministic group
-// order (kinds as requested, BM25 before vector).
-func (ix *Indexer) search(query string, k int, kinds []datalake.Kind, wantBM25, wantVector bool) []provenance.RetrievalHit {
+// order (kinds as requested, BM25 before vector). A cancelled context
+// makes unstarted shard searches no-ops, so an abandoned request drains
+// the pool quickly; the (partial) hits of a cancelled search must be
+// discarded by the caller, which owns surfacing ctx.Err().
+func (ix *Indexer) search(ctx context.Context, query string, k int, kinds []datalake.Kind, wantBM25, wantVector bool) []provenance.RetrievalHit {
 	if len(kinds) == 0 {
 		kinds = ix.cfg.Kinds
 	}
@@ -547,6 +551,9 @@ func (ix *Indexer) search(query string, k int, kinds []datalake.Kind, wantBM25, 
 				for si, sh := range shards {
 					si, sh := si, sh
 					tasks = append(tasks, func() {
+						if ctx.Err() != nil {
+							return
+						}
 						for _, h := range sh.SearchTerms(qterms, k) {
 							g.shardHits[si] = append(g.shardHits[si], scoredHit{id: h.ID, score: h.Score})
 						}
@@ -561,6 +568,9 @@ func (ix *Indexer) search(query string, k int, kinds []datalake.Kind, wantBM25, 
 				for si, sh := range shards {
 					si, sh := si, sh
 					tasks = append(tasks, func() {
+						if ctx.Err() != nil {
+							return
+						}
 						for _, h := range sh.Search(qvec, k) {
 							g.shardHits[si] = append(g.shardHits[si], scoredHit{id: h.ID, score: h.Score})
 						}
@@ -590,7 +600,16 @@ func (ix *Indexer) search(query string, k int, kinds []datalake.Kind, wantBM25, 
 // (for provenance) and the combined, deduplicated candidate IDs in
 // best-first order — the Combiner of Section 3.1.
 func (ix *Indexer) Retrieve(query string, k int, kinds ...datalake.Kind) ([]provenance.RetrievalHit, []string) {
-	hits := ix.search(query, k, kinds, true, ix.cfg.EnableVector)
+	return ix.RetrieveCtx(context.Background(), query, k, kinds...)
+}
+
+// RetrieveCtx is Retrieve honoring a request context: once ctx is
+// cancelled, shard searches that have not started are skipped, so an
+// abandoned request stops occupying the retrieval worker pool. The
+// possibly partial results of a cancelled retrieval are returned as-is;
+// callers must check ctx.Err() and discard them.
+func (ix *Indexer) RetrieveCtx(ctx context.Context, query string, k int, kinds ...datalake.Kind) ([]provenance.RetrievalHit, []string) {
+	hits := ix.search(ctx, query, k, kinds, true, ix.cfg.EnableVector)
 	return hits, combine(hits)
 }
 
@@ -599,12 +618,12 @@ func (ix *Indexer) Retrieve(query string, k int, kinds ...datalake.Kind) ([]prov
 func (ix *Indexer) RetrieveFamily(query, family string, k int, kinds ...datalake.Kind) []string {
 	switch family {
 	case familyBM25:
-		return combine(ix.search(query, k, kinds, true, false))
+		return combine(ix.search(context.Background(), query, k, kinds, true, false))
 	case familyVector:
 		if !ix.cfg.EnableVector {
 			return nil
 		}
-		return combine(ix.search(query, k, kinds, false, true))
+		return combine(ix.search(context.Background(), query, k, kinds, false, true))
 	default:
 		return nil
 	}

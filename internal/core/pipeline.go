@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/datalake"
@@ -28,12 +30,21 @@ type PipelineConfig struct {
 	// means sequential. The verifiers are deterministic functions of
 	// (object, evidence), so the report is identical either way.
 	VerifyWorkers int
+	// ResultCache is the capacity (entries) of the verify-result cache:
+	// completed Reports keyed by (task, object fingerprint, kind set) and
+	// invalidated exactly when a lake write touches a kind they depend on
+	// (see resultcache.go). <= 0 disables caching — every Verify recomputes.
+	// A cache hit returns the original Report, including its ProvenanceSeq:
+	// identical requests against an unchanged lake share one lineage record.
+	ResultCache int
 }
 
 // DefaultPipelineConfig returns the paper's settings, with the top-k′
-// evidence verified concurrently.
+// evidence verified concurrently and the verify-result cache enabled (the
+// verifiers are deterministic, so cached Reports are bit-identical to
+// recomputed ones).
 func DefaultPipelineConfig() PipelineConfig {
-	return PipelineConfig{TopK: 100, TopKPrime: 5, UseReranker: true, VerifyWorkers: 4}
+	return PipelineConfig{TopK: 100, TopKPrime: 5, UseReranker: true, VerifyWorkers: 4, ResultCache: 4096}
 }
 
 // Pipeline is the assembled VerifAI system. It is safe for concurrent use:
@@ -48,6 +59,8 @@ type Pipeline struct {
 	trustMu   sync.RWMutex
 	trust     map[string]float64
 	cfg       PipelineConfig
+	// rcache is the versioned verify-result cache (nil when disabled).
+	rcache *resultCache
 }
 
 // NewPipeline assembles a pipeline. sourceTrust maps source IDs to trust in
@@ -64,10 +77,29 @@ func NewPipeline(lake *datalake.Lake, indexer *Indexer, rr *rerank.Registry, age
 	if sourceTrust == nil {
 		sourceTrust = make(map[string]float64)
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		lake: lake, indexer: indexer, rerankers: rr, agent: agent,
 		prov: prov, trust: sourceTrust, cfg: cfg,
-	}, nil
+	}
+	if cfg.ResultCache > 0 {
+		p.rcache = newResultCache(cfg.ResultCache)
+		if err := p.rcache.attach(lake); err != nil {
+			return nil, fmt.Errorf("core: attach result cache: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// Close detaches the pipeline's result cache from the lake's change feed.
+// A discarded pipeline with caching enabled should be closed (like its
+// Indexer), or the dead subscription keeps observing every future ingest.
+// The pipeline remains usable for verification after Close — cache entries
+// just stop invalidating, so only call it when retiring the pipeline.
+// Idempotent.
+func (p *Pipeline) Close() {
+	if p.rcache != nil {
+		p.rcache.close()
+	}
 }
 
 // Provenance returns the pipeline's lineage store (nil when disabled).
@@ -95,10 +127,44 @@ func (p *Pipeline) SourceTrust(sourceID string) float64 {
 }
 
 // SetSourceTrust overrides a source's trust (e.g. from trust.Estimate).
+// Trust re-weights verdict resolution, so the override invalidates every
+// cached verification result.
 func (p *Pipeline) SetSourceTrust(sourceID string, t float64) {
 	p.trustMu.Lock()
-	defer p.trustMu.Unlock()
 	p.trust[sourceID] = t
+	p.trustMu.Unlock()
+	if p.rcache != nil {
+		p.rcache.bumpEpoch()
+	}
+}
+
+// Stats reports the pipeline's serving-path counters: verify-result cache
+// hits/misses/invalidations and the indexer's query-embedding cache, for
+// ops dashboards (/v1/stats) and tests. All cache fields are zero when the
+// respective cache is disabled.
+type Stats struct {
+	// ResultCache* describe the verify-result cache. Invalidations counts
+	// entries evicted because a lake write touched a kind they depended on
+	// (or a trust override bumped the epoch) — counted lazily, at the
+	// lookup that finds the entry stale.
+	ResultCacheHits          uint64 `json:"result_cache_hits"`
+	ResultCacheMisses        uint64 `json:"result_cache_misses"`
+	ResultCacheInvalidations uint64 `json:"result_cache_invalidations"`
+	ResultCacheSize          int    `json:"result_cache_size"`
+	// QueryCache* describe the indexer's query-embedding LRU.
+	QueryCacheHits   uint64 `json:"query_cache_hits"`
+	QueryCacheMisses uint64 `json:"query_cache_misses"`
+	QueryCacheSize   int    `json:"query_cache_size"`
+}
+
+// Stats snapshots the pipeline's serving-path counters.
+func (p *Pipeline) Stats() Stats {
+	var s Stats
+	if p.rcache != nil {
+		s.ResultCacheHits, s.ResultCacheMisses, s.ResultCacheInvalidations, s.ResultCacheSize = p.rcache.stats()
+	}
+	s.QueryCacheHits, s.QueryCacheMisses, s.QueryCacheSize = p.indexer.QueryCacheStats()
+	return s
 }
 
 // Evidence is one verified evidence instance in a report.
@@ -134,6 +200,27 @@ func (p *Pipeline) Retrieve(g verify.Generated, k int, kinds ...datalake.Kind) (
 	return p.indexer.Retrieve(g.Query(), k, kinds...)
 }
 
+// normalizeKinds resolves the effective evidence-kind set for one request:
+// the indexer's configured kinds when empty, sorted and deduplicated
+// otherwise. Retrieval searches each kind once and the combiner is
+// order-independent, so the normalized set retrieves identically to the
+// caller's — and it gives cache keys a canonical form.
+func (p *Pipeline) normalizeKinds(kinds []datalake.Kind) []datalake.Kind {
+	if len(kinds) == 0 {
+		return p.indexer.cfg.Kinds
+	}
+	out := append([]datalake.Kind(nil), kinds...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	for i, k := range out {
+		if i == 0 || k != out[n-1] {
+			out[n] = k
+			n++
+		}
+	}
+	return out[:n]
+}
+
 // Verify runs the full pipeline for a generated object: retrieve → combine
 // → rerank → verify each evidence instance → resolve a final verdict by
 // trust-weighted vote → record provenance.
@@ -142,15 +229,64 @@ func (p *Pipeline) Retrieve(g verify.Generated, k int, kinds ...datalake.Kind) (
 // claims, as in the paper's Section 4 setting); empty means all indexed
 // modalities.
 func (p *Pipeline) Verify(g verify.Generated, kinds ...datalake.Kind) (Report, error) {
-	return p.verifyWith(g, p.cfg.VerifyWorkers, kinds...)
+	return p.VerifyCtx(context.Background(), g, kinds...)
 }
 
-// verifyWith is Verify with an explicit evidence-worker bound, so an outer
-// fan-out (VerifyBatch) can keep total concurrency at its own bound instead
-// of multiplying by cfg.VerifyWorkers.
-func (p *Pipeline) verifyWith(g verify.Generated, evidenceWorkers int, kinds ...datalake.Kind) (Report, error) {
+// VerifyCtx is Verify honoring a request context: cancellation or deadline
+// expiry aborts the remaining retrieval fan-out, reranking, and evidence
+// verification and returns the context's error, so an abandoned HTTP
+// request stops burning CPU mid-flight.
+//
+// When the result cache is enabled, a Report computed for the same
+// (object, kinds) fingerprint against an unchanged lake (no write touching
+// the requested kinds, no trust override) is returned without recomputing;
+// cancelled or failed verifications are never cached.
+func (p *Pipeline) VerifyCtx(ctx context.Context, g verify.Generated, kinds ...datalake.Kind) (Report, error) {
+	return p.verifyCached(ctx, g, p.cfg.VerifyWorkers, p.normalizeKinds(kinds))
+}
+
+// verifyCached wraps verifyWith with the result-cache lookup/fill — the
+// single serving path behind VerifyCtx and VerifyBatchCtx. kinds must be
+// normalized.
+func (p *Pipeline) verifyCached(ctx context.Context, g verify.Generated, evidenceWorkers int, kinds []datalake.Kind) (Report, error) {
+	var key string
+	if p.rcache != nil {
+		key = cacheKey(g, kinds)
+		if rep, ok := p.rcache.get(key, kinds); ok {
+			return rep, nil
+		}
+	}
+	// Stamp validity before touching the indexes: every index read below
+	// reflects at least this published version, and a write landing
+	// mid-verification makes the stamp conservatively stale.
+	var version, epoch uint64
+	if p.rcache != nil {
+		version = p.lake.Version()
+		epoch = p.rcache.epoch.Load()
+	}
+	rep, err := p.verifyWith(ctx, g, evidenceWorkers, kinds)
+	if err != nil {
+		return rep, err
+	}
+	if p.rcache != nil {
+		p.rcache.put(key, kinds, version, epoch, rep)
+	}
+	return rep, nil
+}
+
+// verifyWith is VerifyCtx's implementation with an explicit evidence-worker
+// bound, so an outer fan-out (VerifyBatch) can keep total concurrency at
+// its own bound instead of multiplying by cfg.VerifyWorkers. kinds must be
+// normalized (non-empty).
+func (p *Pipeline) verifyWith(ctx context.Context, g verify.Generated, evidenceWorkers int, kinds []datalake.Kind) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 	query := g.Query()
-	hits, combined := p.indexer.Retrieve(query, p.cfg.TopK, kinds...)
+	hits, combined := p.indexer.RetrieveCtx(ctx, query, p.cfg.TopK, kinds...)
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 
 	// Resolve candidates. Resolution failures indicate index/lake drift and
 	// are surfaced, not skipped.
@@ -187,12 +323,15 @@ func (p *Pipeline) verifyWith(g verify.Generated, evidenceWorkers int, kinds ...
 			rerankEntries = append(rerankEntries, provenance.RerankEntry{InstanceID: in.ID, Rank: rank})
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 
 	// Verify each evidence instance via the Agent — concurrently when
 	// configured — then aggregate sequentially in rank order so the report
 	// (votes, provenance, float accumulation) is bit-identical to the
 	// sequential path.
-	results, err := p.verifyEvidence(g, ordered, evidenceWorkers)
+	results, err := p.verifyEvidence(ctx, g, ordered, evidenceWorkers)
 	if err != nil {
 		return Report{}, err
 	}
@@ -252,30 +391,41 @@ func (p *Pipeline) verifyWith(g verify.Generated, evidenceWorkers int, kinds ...
 
 // verifyEvidence runs the Agent over each evidence instance on a bounded
 // worker pool (workers <= 1 runs inline). Results preserve input order; the
-// first error wins.
-func (p *Pipeline) verifyEvidence(g verify.Generated, ordered []datalake.Instance, workers int) ([]verify.Result, error) {
+// first error wins. A cancelled context stops unstarted verifications; the
+// context error is returned once in-flight ones drain.
+func (p *Pipeline) verifyEvidence(ctx context.Context, g verify.Generated, ordered []datalake.Instance, workers int) ([]verify.Result, error) {
 	results := make([]verify.Result, len(ordered))
 	var (
 		errMu    sync.Mutex
 		firstErr error
 	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	tasks := make([]func(), len(ordered))
 	for i := range ordered {
 		i := i
 		tasks[i] = func() {
+			if err := ctx.Err(); err != nil {
+				setErr(err)
+				return
+			}
 			res, err := p.agent.Verify(g, ordered[i])
 			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
+				setErr(err)
 				return
 			}
 			results[i] = res
 		}
 	}
 	runParallel(tasks, workers)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -122,6 +122,25 @@ type Event struct {
 	Payload any
 }
 
+// Touches returns the instance kinds a committed mutation affects in the
+// indexes and any derived read-side state: a table event touches both the
+// whole-table and per-tuple granularities, a document event touches texts,
+// and a triple event touches the subject entity's neighborhood. Consumers
+// that invalidate per-kind state (e.g. a verify-result cache) key off this
+// instead of treating every version bump as global.
+func (ev Event) Touches() []Kind {
+	switch ev.Kind {
+	case KindTable:
+		return []Kind{KindTable, KindTuple}
+	case KindText:
+		return []Kind{KindText}
+	case KindEntity:
+		return []Kind{KindEntity}
+	default:
+		return nil
+	}
+}
+
 // ChangeHook observes committed mutations. Hooks run on the lake's
 // dispatcher goroutine in version order, with no lake locks held. A hook
 // error is reported to the ingest caller whose mutation it rejected; the
@@ -232,9 +251,10 @@ type Lake struct {
 	// hooksMu guards the subscriber list; it is never held while acquiring
 	// writeMu or mu, and the dispatcher holds it (shared) for the duration
 	// of one event's delivery so unsubscribe can exclude in-flight calls.
-	hooksMu sync.RWMutex
-	hooks   []registeredHook
-	hookSeq int
+	hooksMu   sync.RWMutex
+	hooks     []registeredHook
+	sourceObs []registeredSourceObserver
+	hookSeq   int
 
 	// events is the bounded ordered queue between commit and dispatch.
 	// Sends happen under writeMu, so channel order is version order.
@@ -314,7 +334,8 @@ func New(opts ...Option) *Lake {
 // AddSource registers (or overwrites) a source description. A zero
 // TrustPrior is normalized to 0.5. The returned error only ever comes from
 // a durability (source) hook rejecting the registration; lakes without a
-// hook always succeed.
+// hook always succeed. Registered source observers (OnSourceChange) run
+// before the call returns.
 func (l *Lake) AddSource(s Source) error {
 	if s.TrustPrior == 0 {
 		s.TrustPrior = 0.5
@@ -327,9 +348,50 @@ func (l *Lake) AddSource(s Source) error {
 		}
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.sources[s.ID] = s
+	l.mu.Unlock()
+	// Notify observers under writeMu (registrations are observed in
+	// serialization order) but outside mu, so observers may read the lake.
+	l.hooksMu.RLock()
+	obs := append([]registeredSourceObserver(nil), l.sourceObs...)
+	l.hooksMu.RUnlock()
+	for _, o := range obs {
+		o.fn(s)
+	}
 	return nil
+}
+
+// registeredSourceObserver pairs a source observer with its registration
+// handle.
+type registeredSourceObserver struct {
+	id int
+	fn func(Source)
+}
+
+// OnSourceChange registers fn to observe every subsequent source
+// registration (AddSource), including overwrites of an existing source —
+// the one catalog mutation outside the versioned change feed. A
+// trust-sensitive consumer (e.g. a verify-result cache, whose verdict
+// weighting reads Source.TrustPrior) uses this to invalidate on source
+// overwrites. fn runs on the registering goroutine before AddSource
+// returns and must not write into the lake. The returned function
+// unsubscribes (idempotent).
+func (l *Lake) OnSourceChange(fn func(Source)) (unsubscribe func()) {
+	l.hooksMu.Lock()
+	defer l.hooksMu.Unlock()
+	l.hookSeq++
+	id := l.hookSeq
+	l.sourceObs = append(l.sourceObs, registeredSourceObserver{id: id, fn: fn})
+	return func() {
+		l.hooksMu.Lock()
+		defer l.hooksMu.Unlock()
+		for i, o := range l.sourceObs {
+			if o.id == id {
+				l.sourceObs = append(l.sourceObs[:i], l.sourceObs[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 // SetCommitHook installs (or, with nil, removes) the durable commit hook.

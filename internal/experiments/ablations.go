@@ -214,7 +214,7 @@ func (e *Env) AblateTrust(res *AblationsResult) error {
 
 	run := func(trusts map[string]float64) (float64, []trust.Vote, error) {
 		p, err := core.NewPipeline(corpus.Lake, indexer, registry, agent,
-			provenance.NewStore(), trusts, core.DefaultPipelineConfig())
+			provenance.NewStore(), trusts, experimentPipelineConfig())
 		if err != nil {
 			return 0, nil, err
 		}

@@ -106,7 +106,7 @@ func Build(cfg Config) (*Env, error) {
 	agent := verify.NewAgent(chatgpt) // ChatGPT default, per the paper
 
 	pipeline, err := core.NewPipeline(corpus.Lake, indexer, registry, agent,
-		provenance.NewStore(), nil, core.DefaultPipelineConfig())
+		provenance.NewStore(), nil, experimentPipelineConfig())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: assemble pipeline: %w", err)
 	}
@@ -125,13 +125,24 @@ func Build(cfg Config) (*Env, error) {
 	}, nil
 }
 
+// experimentPipelineConfig is the paper's pipeline configuration with the
+// verify-result cache disabled: the harness measures the pipeline itself
+// (repeated runs must recompute, not replay a cached Report), and
+// experiment pipelines are built ad hoc over shared lakes without a Close
+// call — a cache would leave its change-feed subscription behind.
+func experimentPipelineConfig() core.PipelineConfig {
+	cfg := core.DefaultPipelineConfig()
+	cfg.ResultCache = 0
+	return cfg
+}
+
 // ExactPipeline assembles a pipeline over the same lake and indexes but
 // with the noise-free verifier — used by the case-study experiments, which
 // demonstrate the mechanism rather than aggregate accuracy.
 func (e *Env) ExactPipeline() (*core.Pipeline, error) {
 	agent := verify.NewAgent(verify.NewExactVerifier())
 	return core.NewPipeline(e.Corpus.Lake, e.Indexer, e.Registry, agent,
-		provenance.NewStore(), nil, core.DefaultPipelineConfig())
+		provenance.NewStore(), nil, experimentPipelineConfig())
 }
 
 // factKey stably identifies a tuple-completion fact for the simulated

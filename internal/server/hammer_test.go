@@ -79,10 +79,11 @@ func TestConcurrentIngestQueryCheckpoint(t *testing.T) {
 
 	const writers, docsPerWriter = 3, 30
 	var (
-		wg          sync.WaitGroup
-		writersLeft atomic.Int32
-		ckptOK      atomic.Int32
-		ckptBusy    atomic.Int32
+		wg               sync.WaitGroup
+		writersLeft      atomic.Int32
+		ckptOK           atomic.Int32
+		ckptBusy         atomic.Int32
+		coherenceIngests atomic.Int32
 	)
 	writersLeft.Store(writers)
 	errc := make(chan error, 64)
@@ -151,6 +152,61 @@ func TestConcurrentIngestQueryCheckpoint(t *testing.T) {
 		}
 	}()
 
+	// Cache-coherence worker: a verify issued after an ingest ack must
+	// never serve a pre-ingest cached verdict. Each round warms the result
+	// cache with a claim about a not-yet-ingested table (NotRelated),
+	// ingests the table through the API (the 200 ack implies it is indexed
+	// and the cache's per-kind watermark advanced), then re-verifies the
+	// identical claim — same ID, same text, same fingerprint: it must come
+	// back Verified against the new table, not the cached NotRelated.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; writersLeft.Load() > 0 && i < 5; i++ {
+			id := fmt.Sprintf("coherence-%d", i)
+			claim := ClaimRequest{
+				ID:   id,
+				Text: fmt.Sprintf("In coherence round %d, the money for alice%d was 57%d.", i, i, i),
+			}
+			var pre VerifyResponse
+			status, body, err := doPost(ts.URL+"/v1/verify/claim", claim)
+			if err != nil || status != http.StatusOK {
+				report("coherence %d pre-verify: status %d err %v body %s", i, status, err, body)
+				return
+			}
+			if err := json.Unmarshal(body, &pre); err != nil {
+				report("coherence %d pre-verify decode: %v", i, err)
+				return
+			}
+			status, body, err = doPost(ts.URL+"/v1/ingest/table", IngestTableRequest{
+				ID:      fmt.Sprintf("coherence-table-%d", i),
+				Caption: fmt.Sprintf("coherence round %d", i),
+				Columns: []string{"player", "money"},
+				Rows:    [][]string{{fmt.Sprintf("alice%d", i), fmt.Sprintf("57%d", i)}},
+			})
+			if err != nil || status != http.StatusOK {
+				report("coherence %d ingest: status %d err %v body %s", i, status, err, body)
+				return
+			}
+			coherenceIngests.Add(1)
+			status, body, err = doPost(ts.URL+"/v1/verify/claim", claim)
+			if err != nil || status != http.StatusOK {
+				report("coherence %d post-verify: status %d err %v body %s", i, status, err, body)
+				return
+			}
+			var post VerifyResponse
+			if err := json.Unmarshal(body, &post); err != nil {
+				report("coherence %d post-verify decode: %v", i, err)
+				return
+			}
+			if post.Verdict != "Verified" {
+				report("coherence %d: post-ingest verdict %q (pre was %q) — stale cached verdict served after an acknowledged ingest",
+					i, post.Verdict, pre.Verdict)
+				return
+			}
+		}
+	}()
+
 	// Checkpoint callers: overlap is 409, success is 200, nothing else.
 	for c := 0; c < 2; c++ {
 		wg.Add(1)
@@ -191,8 +247,8 @@ func TestConcurrentIngestQueryCheckpoint(t *testing.T) {
 	// One more checkpoint on the quiet system, then a clean restart must
 	// recover every acknowledged write.
 	wantVersion := sys.LakeVersion()
-	if wantVersion != uint64(1+writers*docsPerWriter) {
-		t.Fatalf("final version = %d, want %d", wantVersion, 1+writers*docsPerWriter)
+	if want := uint64(1 + writers*docsPerWriter + int(coherenceIngests.Load())); wantVersion != want {
+		t.Fatalf("final version = %d, want %d", wantVersion, want)
 	}
 	resp, body := postJSON(t, ts.URL+"/v1/admin/checkpoint", struct{}{})
 	if resp.StatusCode != http.StatusOK {

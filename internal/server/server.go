@@ -3,6 +3,7 @@
 //
 //	POST /v1/verify/claim     {"id": "...", "text": "In <caption>, ...", "kinds": ["table","text"]}
 //	POST /v1/verify/tuple     {"id": "...", "caption": "...", "columns": [...], "values": [...], "attr": "..."}
+//	POST /v1/verify/batch     {"items": [{"type": "claim"|"tuple", ...}, ...]}
 //	POST /v1/ingest/table     {"id": "...", "caption": "...", "columns": [...], "rows": [[...]], "source_id": "..."}
 //	POST /v1/ingest/document  {"id": "...", "title": "...", "text": "...", "source_id": "..."}
 //	POST /v1/ingest/triple    {"subject": "...", "predicate": "...", "object": "...", "source_id": "..."}
@@ -20,16 +21,32 @@
 // instances incrementally, so the server keeps serving verification reads
 // during writes. Responses are flat JSON documents (no internal types
 // leak); errors use RFC-7807-ish {"error": "..."} bodies with conventional
-// status codes (409 for duplicate ingest IDs, 503 for writes after the
-// system began shutting down).
+// status codes (409 for duplicate ingest IDs, 413 for oversized bodies,
+// 429 when the verify admission limiter is saturated, 503 for writes after
+// the system began shutting down, 504 for verifications exceeding the
+// per-request deadline).
+//
+// The verify endpoints are admission-controlled: at most a configured
+// number of verifications run concurrently (WithVerifyConcurrency /
+// -verify-concurrency); a request finding the limiter saturated is
+// rejected immediately with 429 and a Retry-After hint instead of queueing
+// unboundedly. POST /v1/verify/batch amortizes one admission slot across
+// many claims. Each admitted verification runs under the request's context
+// (plus an optional server-side deadline), so a disconnected client stops
+// burning CPU mid-flight.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/claims"
 	"repro/internal/core"
@@ -41,6 +58,19 @@ import (
 	"repro/internal/verify"
 )
 
+// Request-body size caps. Verify and single-item ingest bodies are small
+// JSON documents; the batch endpoints carry many items and get room to
+// match their item caps. Oversized bodies answer 413.
+const (
+	maxBodyBytes      = 1 << 20  // 1 MiB: verify + single-item ingest
+	maxBatchBodyBytes = 64 << 20 // 64 MiB: /v1/ingest/batch and /v1/verify/batch
+)
+
+// statusClientClosedRequest reports a verification aborted because the
+// client went away (nginx's 499 convention); the client never sees it, but
+// it keeps access logs honest.
+const statusClientClosedRequest = 499
+
 // Server handles the HTTP API over one pipeline.
 type Server struct {
 	pipeline *core.Pipeline
@@ -49,6 +79,13 @@ type Server struct {
 	// deployments; nil otherwise.
 	durStats   func() durable.Stats
 	checkpoint func() (uint64, error)
+
+	// verifySem is the verify admission limiter (nil = unlimited); a slot
+	// is held for the duration of one verification (or one whole batch).
+	verifySem     chan struct{}
+	verifyLimit   int
+	verifyTimeout time.Duration
+	rejected      atomic.Uint64
 }
 
 // Option configures a Server.
@@ -64,14 +101,32 @@ func WithDurability(stats func() durable.Stats, checkpoint func() (uint64, error
 	}
 }
 
+// WithVerifyConcurrency bounds concurrently admitted verify requests
+// (default 4×GOMAXPROCS). Requests beyond the bound answer 429 with a
+// Retry-After hint. n <= 0 disables admission control.
+func WithVerifyConcurrency(n int) Option {
+	return func(s *Server) { s.verifyLimit = n }
+}
+
+// WithVerifyTimeout caps each admitted verification's runtime on top of
+// the client's own cancellation (default 0: only the request context
+// bounds it). Expiry aborts the pipeline mid-flight and answers 504.
+func WithVerifyTimeout(d time.Duration) Option {
+	return func(s *Server) { s.verifyTimeout = d }
+}
+
 // New returns a server over the given pipeline.
 func New(p *core.Pipeline, opts ...Option) *Server {
-	s := &Server{pipeline: p, mux: http.NewServeMux()}
+	s := &Server{pipeline: p, mux: http.NewServeMux(), verifyLimit: 4 * runtime.GOMAXPROCS(0)}
 	for _, o := range opts {
 		o(s)
 	}
+	if s.verifyLimit > 0 {
+		s.verifySem = make(chan struct{}, s.verifyLimit)
+	}
 	s.mux.HandleFunc("/v1/verify/claim", s.handleVerifyClaim)
 	s.mux.HandleFunc("/v1/verify/tuple", s.handleVerifyTuple)
+	s.mux.HandleFunc("/v1/verify/batch", s.handleVerifyBatch)
 	s.mux.HandleFunc("/v1/ingest/table", s.handleIngestTable)
 	s.mux.HandleFunc("/v1/ingest/document", s.handleIngestDocument)
 	s.mux.HandleFunc("/v1/ingest/triple", s.handleIngestTriple)
@@ -229,6 +284,84 @@ type IngestBatchResponse struct {
 	Results []IngestBatchItemResult `json:"results"`
 }
 
+// --- request plumbing ---
+
+// decodeStrict reads one JSON document into dst with the endpoint's body
+// cap applied: bodies over limit answer 413, unknown fields (client typos
+// like "kind" for "kinds") and trailing garbage (a second JSON document)
+// answer 400 — loudly, instead of silently dropping the client's intent.
+// On any failure the response is already written and false returned.
+func decodeStrict(w http.ResponseWriter, r *http.Request, limit int64, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		// The cap can also trip here (a valid document padded past the
+		// limit) — still a size problem, not a framing one.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "request body must be a single JSON document")
+		return false
+	}
+	return true
+}
+
+// admit claims one verify admission slot, answering 429 + Retry-After and
+// returning ok=false when the limiter is saturated. The caller must invoke
+// release exactly once after the verification finishes.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if s.verifySem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.verifySem <- struct{}{}:
+		return func() { <-s.verifySem }, true
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"verify concurrency limit (%d) saturated; retry shortly", s.verifyLimit)
+		return nil, false
+	}
+}
+
+// verifyContext derives the context an admitted verification runs under:
+// the request's own (client disconnect cancels it) plus the server-side
+// deadline when configured.
+func (s *Server) verifyContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.verifyTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.verifyTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// writeVerifyError maps a pipeline verification error onto a status: the
+// server-side deadline expiring is 504 (the verification was cut off, not
+// broken), a client disconnect is logged as 499 (nginx convention; the
+// client is gone), anything else is a real 500.
+func writeVerifyError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "verify: deadline exceeded")
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		writeError(w, statusClientClosedRequest, "verify: client closed request")
+	default:
+		writeError(w, http.StatusInternalServerError, "verify: %v", err)
+	}
+}
+
 // --- handlers ---
 
 func (s *Server) handleVerifyClaim(w http.ResponseWriter, r *http.Request) {
@@ -237,33 +370,27 @@ func (s *Server) handleVerifyClaim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ClaimRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+	if !decodeStrict(w, r, maxBodyBytes, &req) {
 		return
 	}
-	if req.Text == "" {
-		writeError(w, http.StatusBadRequest, "text is required")
-		return
-	}
-	c, err := claims.Parse(req.Text)
+	g, kinds, err := buildClaimObject(req)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "unparseable claim: %v", err)
+		writeError(w, err.status, "%v", err)
 		return
 	}
-	kinds, err := parseKinds(req.Kinds, []datalake.Kind{datalake.KindTable})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	release, ok := s.admit(w)
+	if !ok {
 		return
 	}
-	if req.ID == "" {
-		req.ID = "http-claim"
-	}
-	report, err := s.pipeline.Verify(verify.NewClaimObject(req.ID, c), kinds...)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "verify: %v", err)
+	defer release()
+	ctx, cancel := s.verifyContext(r)
+	defer cancel()
+	report, err2 := s.pipeline.VerifyCtx(ctx, g, kinds...)
+	if err2 != nil {
+		writeVerifyError(w, r, err2)
 		return
 	}
-	writeJSON(w, http.StatusOK, toResponse(req.ID, report))
+	writeJSON(w, http.StatusOK, toResponse(g.ID, report))
 }
 
 func (s *Server) handleVerifyTuple(w http.ResponseWriter, r *http.Request) {
@@ -272,37 +399,241 @@ func (s *Server) handleVerifyTuple(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req TupleRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+	if !decodeStrict(w, r, maxBodyBytes, &req) {
 		return
 	}
-	if len(req.Columns) == 0 || len(req.Columns) != len(req.Values) {
-		writeError(w, http.StatusBadRequest, "columns and values must be non-empty and of equal length")
+	g, kinds, err := buildTupleObject(req)
+	if err != nil {
+		writeError(w, err.status, "%v", err)
 		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.verifyContext(r)
+	defer cancel()
+	report, err2 := s.pipeline.VerifyCtx(ctx, g, kinds...)
+	if err2 != nil {
+		writeVerifyError(w, r, err2)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(g.ID, report))
+}
+
+// reqError pairs a request-validation failure with its response status, so
+// the single-item handlers and the batch handler share validation without
+// re-deriving status codes.
+type reqError struct {
+	status int
+	msg    string
+}
+
+func (e *reqError) Error() string { return e.msg }
+
+func badRequest(format string, args ...interface{}) *reqError {
+	return &reqError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// buildClaimObject validates a ClaimRequest into a generated object and its
+// evidence kinds.
+func buildClaimObject(req ClaimRequest) (verify.Generated, []datalake.Kind, *reqError) {
+	if req.Text == "" {
+		return verify.Generated{}, nil, badRequest("text is required")
+	}
+	c, err := claims.Parse(req.Text)
+	if err != nil {
+		return verify.Generated{}, nil, &reqError{status: http.StatusUnprocessableEntity, msg: fmt.Sprintf("unparseable claim: %v", err)}
+	}
+	kinds, err := parseKinds(req.Kinds, []datalake.Kind{datalake.KindTable})
+	if err != nil {
+		return verify.Generated{}, nil, badRequest("%v", err)
+	}
+	if req.ID == "" {
+		req.ID = "http-claim"
+	}
+	return verify.NewClaimObject(req.ID, c), kinds, nil
+}
+
+// buildTupleObject validates a TupleRequest into a generated object and its
+// evidence kinds.
+func buildTupleObject(req TupleRequest) (verify.Generated, []datalake.Kind, *reqError) {
+	if len(req.Columns) == 0 || len(req.Columns) != len(req.Values) {
+		return verify.Generated{}, nil, badRequest("columns and values must be non-empty and of equal length")
 	}
 	if req.Attr == "" {
-		writeError(w, http.StatusBadRequest, "attr is required")
-		return
+		return verify.Generated{}, nil, badRequest("attr is required")
 	}
 	tp := table.Tuple{Caption: req.Caption, Columns: req.Columns, Values: req.Values}
 	if _, ok := tp.Value(req.Attr); !ok {
-		writeError(w, http.StatusBadRequest, "tuple has no attribute %q", req.Attr)
-		return
+		return verify.Generated{}, nil, badRequest("tuple has no attribute %q", req.Attr)
 	}
 	kinds, err := parseKinds(req.Kinds, []datalake.Kind{datalake.KindTuple, datalake.KindText})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return verify.Generated{}, nil, badRequest("%v", err)
 	}
 	if req.ID == "" {
 		req.ID = "http-tuple"
 	}
-	report, err := s.pipeline.Verify(verify.NewTupleObject(req.ID, tp, req.Attr), kinds...)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "verify: %v", err)
+	return verify.NewTupleObject(req.ID, tp, req.Attr), kinds, nil
+}
+
+// maxVerifyBatchItems caps one verify batch; each item is a full
+// verification, so the cap bounds the work one admission slot can claim.
+const maxVerifyBatchItems = 256
+
+// verifyBatchParallelism bounds the in-flight verifications within one
+// admitted batch (the batch holds a single admission slot; this is its
+// internal fan-out, kept modest so one batch cannot monopolize the CPU).
+const verifyBatchParallelism = 4
+
+// VerifyBatchItem is one object in POST /v1/verify/batch. Type selects the
+// task ("claim" or "tuple") and which of the remaining fields apply (the
+// same fields as the single-object endpoints).
+type VerifyBatchItem struct {
+	Type string `json:"type"`
+	ID   string `json:"id,omitempty"`
+	// Claim fields.
+	Text string `json:"text,omitempty"`
+	// Tuple fields.
+	Caption string   `json:"caption,omitempty"`
+	Columns []string `json:"columns,omitempty"`
+	Values  []string `json:"values,omitempty"`
+	Attr    string   `json:"attr,omitempty"`
+	// Kinds restricts evidence modalities per item; defaults per type.
+	Kinds []string `json:"kinds,omitempty"`
+}
+
+// VerifyBatchRequest is the body of POST /v1/verify/batch.
+type VerifyBatchRequest struct {
+	Items []VerifyBatchItem `json:"items"`
+}
+
+// VerifyBatchItemResult is one item's outcome: either a report or an error.
+type VerifyBatchItemResult struct {
+	Report *VerifyResponse `json:"report,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// VerifyBatchResponse summarizes a batch verification in request order.
+type VerifyBatchResponse struct {
+	// Status is "verified" when every item produced a report, "partial"
+	// when some did, "failed" when none did.
+	Status string `json:"status"`
+	// Verified and Failed count the items.
+	Verified int `json:"verified"`
+	Failed   int `json:"failed"`
+	// Results reports per-item outcomes in request order.
+	Results []VerifyBatchItemResult `json:"results"`
+}
+
+// handleVerifyBatch verifies many objects under ONE admission slot — the
+// amortization that lets a bulk consumer coexist with interactive traffic
+// instead of saturating the limiter with per-claim requests. Item
+// validation failures reject the whole request (400, first bad item named)
+// before any work runs; verification errors after admission are per-item.
+func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	writeJSON(w, http.StatusOK, toResponse(req.ID, report))
+	var req VerifyBatchRequest
+	if !decodeStrict(w, r, maxBatchBodyBytes, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "items must be non-empty")
+		return
+	}
+	if len(req.Items) > maxVerifyBatchItems {
+		writeError(w, http.StatusBadRequest, "batch exceeds %d items; split it", maxVerifyBatchItems)
+		return
+	}
+	objects := make([]verify.Generated, len(req.Items))
+	itemKinds := make([][]datalake.Kind, len(req.Items))
+	for i, it := range req.Items {
+		var rerr *reqError
+		switch it.Type {
+		case "claim":
+			objects[i], itemKinds[i], rerr = buildClaimObject(ClaimRequest{ID: it.ID, Text: it.Text, Kinds: it.Kinds})
+		case "tuple":
+			objects[i], itemKinds[i], rerr = buildTupleObject(TupleRequest{
+				ID: it.ID, Caption: it.Caption, Columns: it.Columns, Values: it.Values,
+				Attr: it.Attr, Kinds: it.Kinds,
+			})
+		default:
+			rerr = badRequest("unknown type %q (want claim|tuple)", it.Type)
+		}
+		if rerr != nil {
+			writeError(w, rerr.status, "item %d: %v", i, rerr)
+			return
+		}
+	}
+
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.verifyContext(r)
+	defer cancel()
+
+	// Fan the items across a small worker pool (order-preserving). Kinds
+	// vary per item, so this drives VerifyCtx directly rather than
+	// VerifyBatchCtx; each item still hits the result cache.
+	resp := VerifyBatchResponse{Results: make([]VerifyBatchItemResult, len(req.Items))}
+	workers := verifyBatchParallelism
+	if workers > len(req.Items) {
+		workers = len(req.Items)
+	}
+	jobs := make(chan int)
+	done := make(chan struct{})
+	for wkr := 0; wkr < workers; wkr++ {
+		go func() {
+			for i := range jobs {
+				report, err := s.pipeline.VerifyCtx(ctx, objects[i], itemKinds[i]...)
+				if err != nil {
+					resp.Results[i].Error = err.Error()
+				} else {
+					vr := toResponse(objects[i].ID, report)
+					resp.Results[i].Report = &vr
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := range req.Items {
+		jobs <- i
+	}
+	close(jobs)
+	for wkr := 0; wkr < workers; wkr++ {
+		<-done
+	}
+
+	for _, res := range resp.Results {
+		if res.Error != "" {
+			resp.Failed++
+		} else {
+			resp.Verified++
+		}
+	}
+	switch {
+	case resp.Failed == 0:
+		resp.Status = "verified"
+	case resp.Verified > 0:
+		resp.Status = "partial"
+	default:
+		resp.Status = "failed"
+		// A wholly failed batch surfaces the cause through the status code
+		// like the single-object endpoints (e.g. every item cut off by the
+		// deadline).
+		if ctx.Err() != nil {
+			writeVerifyError(w, r, ctx.Err())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // buildTable, buildDocument, and buildTriple validate and construct the
@@ -348,8 +679,7 @@ func (s *Server) handleIngestTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req IngestTableRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+	if !decodeStrict(w, r, maxBodyBytes, &req) {
 		return
 	}
 	t, err := buildTable(req.ID, req.Caption, req.Columns, req.Rows, req.SourceID)
@@ -367,8 +697,7 @@ func (s *Server) handleIngestDocument(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req IngestDocumentRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+	if !decodeStrict(w, r, maxBodyBytes, &req) {
 		return
 	}
 	d, err := buildDocument(req.ID, req.Title, req.Text, req.SourceID)
@@ -386,8 +715,7 @@ func (s *Server) handleIngestTriple(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req IngestTripleRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+	if !decodeStrict(w, r, maxBodyBytes, &req) {
 		return
 	}
 	tr, err := buildTriple(req.Subject, req.Predicate, req.Object, req.SourceID)
@@ -405,8 +733,7 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req IngestBatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+	if !decodeStrict(w, r, maxBatchBodyBytes, &req) {
 		return
 	}
 	if len(req.Items) == 0 {
@@ -555,6 +882,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"triples":  stats.Triples,
 		"entities": stats.Entities,
 		"sources":  stats.Sources,
+		"serving": map[string]any{
+			"pipeline":           s.pipeline.Stats(),
+			"verify_concurrency": s.verifyLimit,
+			"verify_in_flight":   len(s.verifySem),
+			"verify_rejected":    s.rejected.Load(),
+		},
 	}
 	if s.durStats != nil {
 		body["durability"] = s.durStats()

@@ -141,12 +141,33 @@ func TestStatsAndHealthz(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var stats map[string]int
+	var stats map[string]json.RawMessage
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	if stats["tables"] != 3 || stats["texts"] != 1 {
+	var tables, texts int
+	if err := json.Unmarshal(stats["tables"], &tables); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(stats["texts"], &texts); err != nil {
+		t.Fatal(err)
+	}
+	if tables != 3 || texts != 1 {
 		t.Errorf("stats = %v", stats)
+	}
+	// The serving section surfaces the result-cache counters and the
+	// admission limiter's configuration.
+	var serving struct {
+		Pipeline         core.Stats `json:"pipeline"`
+		VerifyConc       int        `json:"verify_concurrency"`
+		VerifyInFlight   int        `json:"verify_in_flight"`
+		VerifyRejections uint64     `json:"verify_rejected"`
+	}
+	if err := json.Unmarshal(stats["serving"], &serving); err != nil {
+		t.Fatalf("serving section: %v", err)
+	}
+	if serving.VerifyConc <= 0 {
+		t.Errorf("verify_concurrency = %d, want a positive default", serving.VerifyConc)
 	}
 
 	hr, err := http.Get(ts.URL + "/v1/healthz")
