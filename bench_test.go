@@ -14,6 +14,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/binfmt"
 	"repro/internal/core"
 	"repro/internal/datalake"
 	"repro/internal/doc"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/invindex"
 	"repro/internal/server"
 	"repro/internal/table"
+	"repro/internal/textutil"
 	"repro/internal/vecindex"
 	"repro/internal/verify"
 	"repro/internal/workload"
@@ -322,9 +325,36 @@ func BenchmarkBM25Search(b *testing.B) {
 		}
 	}
 	query := corpus.Tables[42].SerializeForIndex()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if hits := ix.Search(query, 10); len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+// BenchmarkBM25SearchTerms measures the pre-tokenized hot loop in
+// isolation: allocs/op is the headline number (the steady path allocates
+// only the returned hit slice; scratch comes from a pool).
+func BenchmarkBM25SearchTerms(b *testing.B) {
+	ix := invindex.New()
+	cfg := workload.DefaultConfig()
+	cfg.NumTables = 1000
+	corpus, err := workload.GenerateLake(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, t := range corpus.Tables {
+		if err := ix.Add(t.ID, t.SerializeForIndex()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	terms := textutil.TokenizeFiltered(corpus.Tables[42].SerializeForIndex())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := ix.SearchTerms(terms, 10); len(hits) == 0 {
 			b.Fatal("no hits")
 		}
 	}
@@ -344,9 +374,10 @@ func BenchmarkVectorSearch(b *testing.B) {
 		Search(q embed.Vector, k int) []vecindex.Hit
 		Add(id string, v embed.Vector) error
 	}{
-		"flat": vecindex.NewFlat(dim, vecindex.Cosine),
-		"ivf":  vecindex.NewIVF(dim, vecindex.Cosine, 64, 8, 1),
-		"lsh":  vecindex.NewLSH(dim, 16, 8, 1),
+		"flat":   vecindex.NewFlat(dim, vecindex.Cosine),
+		"sqflat": vecindex.NewSQFlat(dim, vecindex.Cosine, 4),
+		"ivf":    vecindex.NewIVF(dim, vecindex.Cosine, 64, 8, 1),
+		"lsh":    vecindex.NewLSH(dim, 16, 8, 1),
 	}
 	for name, ix := range indexes {
 		for i, v := range vecs {
@@ -358,6 +389,7 @@ func BenchmarkVectorSearch(b *testing.B) {
 			ivf.Train()
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ix.Search(query, 10)
 			}
@@ -412,6 +444,12 @@ func BenchmarkRetrievalSharding(b *testing.B) {
 		{"shards=4-parallel", 4, 0},
 	}
 	for _, layout := range layouts {
+		if layout.workers != 1 && runtime.GOMAXPROCS(0) == 1 {
+			b.Run(layout.name, func(b *testing.B) {
+				b.Skipf("GOMAXPROCS=1: parallel fan-out would measure scheduler overhead, not sharding speedup")
+			})
+			continue
+		}
 		icfg := core.DefaultIndexerConfig(1)
 		icfg.Shards = layout.shards
 		icfg.RetrieveWorkers = layout.workers
@@ -949,4 +987,85 @@ func BenchmarkAblationVectorIndex(b *testing.B) {
 	b.ReportMetric(points["flat"].Recall, "flat-recall")
 	b.ReportMetric(points["ivf"].Recall, "ivf-recall")
 	b.ReportMetric(points["lsh"].Recall, "lsh-recall")
+}
+
+// BenchmarkAblationQuantization reports quantized-vs-exact recall@10 and
+// mean per-query latency for the int8 scalar-quantized flat index at the
+// serving default rerank multiple (4). The acceptance bar is
+// recall@10 >= 0.95.
+func BenchmarkAblationQuantization(b *testing.B) {
+	env := benchEnvironment(b)
+	var pt experiments.QuantizationPoint
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, err = env.AblateQuantization(10, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pt.RecallAtK, "recall@10")
+	b.ReportMetric(pt.QueryMicros, "quant-us/query")
+	b.ReportMetric(pt.ExactQueryMicros, "exact-us/query")
+}
+
+// BenchmarkRecoveryOpen measures snapshot-restart latency — the time from
+// "snapshot directory on disk" to "indexer serving" — across the three
+// on-disk strategies at three lake sizes:
+//
+//   - legacy-gob: the pre-binfmt encoding/gob snapshot, fully decoded and
+//     re-allocated on open (the old recovery path).
+//   - binary-read: the binfmt columnar snapshot with mmap disabled
+//     (REPRO_BINFMT_NOMMAP=1), i.e. one sequential read + checksum.
+//   - binary-mmap: the binfmt snapshot mapped read-only; column decode is
+//     pointer casting, so open cost is validation, not deserialization.
+//
+// The ratio legacy-gob / binary-mmap at the largest size is the headline
+// startup speedup recorded in bench_baseline.txt.
+func BenchmarkRecoveryOpen(b *testing.B) {
+	for _, tables := range []int{250, 1000, 4000} {
+		corpus := retrievalBenchLake(b, tables, tables/2)
+		icfg := core.DefaultIndexerConfig(1)
+		ix, err := core.BuildIndexer(corpus.Lake, icfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		binDir, gobDir := b.TempDir(), b.TempDir()
+		err = corpus.Lake.Quiesce(func(v uint64) error {
+			fz := ix.Freeze()
+			if err := fz.Save(binDir, v); err != nil {
+				return err
+			}
+			return fz.SaveLegacy(gobDir, v)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix.Close()
+		variants := []struct {
+			name   string
+			dir    string
+			noMmap bool
+		}{
+			{"legacy-gob", gobDir, false},
+			{"binary-read", binDir, true},
+			{"binary-mmap", binDir, false},
+		}
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("tables=%d/%s", tables, v.name), func(b *testing.B) {
+				if v.noMmap {
+					b.Setenv(binfmt.NoMmapEnv, "1")
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					loaded, err := core.BuildIndexerFromSnapshot(corpus.Lake, icfg, v.dir)
+					if err != nil {
+						b.Fatal(err)
+					}
+					loaded.Close()
+				}
+			})
+		}
+	}
 }

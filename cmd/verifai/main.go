@@ -12,6 +12,7 @@
 //	verifai demo
 //	    run the paper's Figure 1 and Figure 4 cases on the built-in case lake
 //	verifai serve -lake DIR -addr :8080 [-shards N] [-ingest-queue N]
+//	              [-quantize] [-rerank-multiple N]
 //	              [-verify-concurrency N] [-verify-timeout 30s]
 //	              [-read-timeout 30s] [-read-header-timeout 5s]
 //	              [-idle-timeout 2m]
@@ -23,7 +24,9 @@
 //	    lock and POST /v1/ingest/batch commits mixed batches under one
 //	    lock acquisition; -shards enables the sharded parallel
 //	    retrieval/applier layout, -ingest-queue bounds the in-flight
-//	    ingest event queue. The verify endpoints are admission-controlled
+//	    ingest event queue, and -quantize stores flat vector shards
+//	    int8-scalar-quantized (4x smaller, faster scans) with the top
+//	    -rerank-multiple*k candidates re-ranked in exact float math. The verify endpoints are admission-controlled
 //	    (-verify-concurrency; saturated requests answer 429) and
 //	    deadline-bounded (-verify-timeout; expiry aborts the pipeline
 //	    mid-flight and answers 504), repeated identical verifications hit
@@ -104,7 +107,27 @@ func commonFlags(fs *flag.FlagSet) (lakeDir *string, seed *uint64, exact *bool) 
 	return
 }
 
-func buildSystem(lakeDir string, seed uint64, exact bool, shards, ingestQueue int) (*verifai.System, *verifai.Lake, error) {
+// indexTuning carries the serving-path indexer knobs from flags into
+// buildSystem / openDurable.
+type indexTuning struct {
+	shards         int  // index shards per kind and family (0 = unsharded)
+	quantize       bool // int8 scalar-quantize flat vector shards
+	rerankMultiple int  // quantized re-rank candidate multiple (0 = default)
+}
+
+func (t indexTuning) apply(opts *verifai.Options) {
+	if t.shards > 0 {
+		opts.Indexer.Shards = t.shards
+	}
+	if t.quantize {
+		opts.Indexer.Quantize = true
+	}
+	if t.rerankMultiple > 0 {
+		opts.Indexer.RerankMultiple = t.rerankMultiple
+	}
+}
+
+func buildSystem(lakeDir string, seed uint64, exact bool, tune indexTuning, ingestQueue int) (*verifai.System, *verifai.Lake, error) {
 	if lakeDir == "" {
 		return nil, nil, fmt.Errorf("-lake is required")
 	}
@@ -120,9 +143,7 @@ func buildSystem(lakeDir string, seed uint64, exact bool, shards, ingestQueue in
 	if exact {
 		opts = verifai.ExactOptions(seed)
 	}
-	if shards > 0 {
-		opts.Indexer.Shards = shards
-	}
+	tune.apply(&opts)
 	sys, err := verifai.NewSystem(lake, opts)
 	if err != nil {
 		return nil, nil, err
@@ -164,7 +185,7 @@ func runClaim(args []string) error {
 	if *text == "" {
 		return fmt.Errorf("-text is required")
 	}
-	sys, _, err := buildSystem(*lakeDir, *seed, *exact, 0, 0)
+	sys, _, err := buildSystem(*lakeDir, *seed, *exact, indexTuning{}, 0)
 	if err != nil {
 		return err
 	}
@@ -230,7 +251,7 @@ func runTuple(args []string) error {
 	if *tableID == "" || *attr == "" {
 		return fmt.Errorf("-table and -attr are required")
 	}
-	sys, lake, err := buildSystem(*lakeDir, *seed, *exact, 0, 0)
+	sys, lake, err := buildSystem(*lakeDir, *seed, *exact, indexTuning{}, 0)
 	if err != nil {
 		return err
 	}
@@ -313,6 +334,8 @@ func runServe(args []string) error {
 	lakeDir, seed, exact := commonFlags(fs)
 	addr := fs.String("addr", ":8080", "listen address")
 	shards := fs.Int("shards", 0, "index shards per kind and family (0 = unsharded)")
+	quantize := fs.Bool("quantize", false, "int8 scalar-quantize flat vector shards; searches re-rank candidates with exact float math")
+	rerankMultiple := fs.Int("rerank-multiple", 0, "quantized search scans rerank-multiple*k candidates before exact re-rank (0 = default 4)")
 	ingestQueue := fs.Int("ingest-queue", 0, "bound on the in-flight ingest event queue (0 = default 256)")
 	verifyConcurrency := fs.Int("verify-concurrency", 0, "max concurrently admitted verify requests; beyond it requests answer 429 (0 = 4x GOMAXPROCS, <0 = unlimited)")
 	verifyTimeout := fs.Duration("verify-timeout", 30*time.Second, "per-request verification deadline; expiry aborts the pipeline and answers 504 (0 = client-bounded only)")
@@ -327,13 +350,14 @@ func runServe(args []string) error {
 	}
 
 	var sys *verifai.System
+	tune := indexTuning{shards: *shards, quantize: *quantize, rerankMultiple: *rerankMultiple}
 	serverOpts := []server.Option{server.WithVerifyTimeout(*verifyTimeout)}
 	if *verifyConcurrency != 0 {
 		serverOpts = append(serverOpts, server.WithVerifyConcurrency(*verifyConcurrency))
 	}
 	if *dataDir != "" {
 		var err error
-		sys, err = openDurable(*dataDir, *lakeDir, *seed, *exact, *shards, *ingestQueue, *fsync)
+		sys, err = openDurable(*dataDir, *lakeDir, *seed, *exact, tune, *ingestQueue, *fsync)
 		if err != nil {
 			return err
 		}
@@ -343,7 +367,7 @@ func runServe(args []string) error {
 		))
 	} else {
 		var err error
-		sys, _, err = buildSystem(*lakeDir, *seed, *exact, *shards, *ingestQueue)
+		sys, _, err = buildSystem(*lakeDir, *seed, *exact, tune, *ingestQueue)
 		if err != nil {
 			return err
 		}
@@ -436,14 +460,12 @@ func runServe(args []string) error {
 // dir through the durable write path (so the seed data is itself logged
 // and checkpointed); a non-empty data dir ignores -lake, since its own
 // recovered state wins.
-func openDurable(dataDir, lakeDir string, seed uint64, exact bool, shards, ingestQueue int, fsync string) (*verifai.System, error) {
+func openDurable(dataDir, lakeDir string, seed uint64, exact bool, tune indexTuning, ingestQueue int, fsync string) (*verifai.System, error) {
 	opts := verifai.DefaultOptions(seed)
 	if exact {
 		opts = verifai.ExactOptions(seed)
 	}
-	if shards > 0 {
-		opts.Indexer.Shards = shards
-	}
+	tune.apply(&opts)
 	openOpts := verifai.OpenOptions{Options: opts, Sync: fsync}
 	if ingestQueue > 0 {
 		openOpts.LakeOptions = append(openOpts.LakeOptions, verifai.WithIngestQueue(ingestQueue))

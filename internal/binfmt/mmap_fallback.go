@@ -1,0 +1,13 @@
+//go:build !linux
+
+package binfmt
+
+import "os"
+
+const mmapSupported = false
+
+func mmapFile(*os.File, int) ([]byte, error) { return nil, nil }
+
+func munmap([]byte) {}
+
+func setUnmapFinalizer(*Reader) {}

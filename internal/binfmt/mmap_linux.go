@@ -1,0 +1,37 @@
+//go:build linux
+
+package binfmt
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+)
+
+const mmapSupported = true
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		// Zero-length mappings are invalid; an empty file cannot be a
+		// container anyway, so surface that through NewReader.
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+func munmap(data []byte) {
+	if data != nil {
+		_ = syscall.Munmap(data)
+	}
+}
+
+// setUnmapFinalizer releases the mapping once the Reader is unreachable.
+// Every structure that retains a section view also retains the Reader
+// (see Reader docs), so the mapping cannot be released while a view is
+// still reachable. Close is deliberately absent: core's Indexer contract
+// keeps indexes searchable after Close, so an eager unmap would turn a
+// late search into a fault.
+func setUnmapFinalizer(r *Reader) {
+	data := r.data
+	runtime.SetFinalizer(r, func(*Reader) { munmap(data) })
+}

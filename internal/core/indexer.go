@@ -63,6 +63,16 @@ type IndexerConfig struct {
 	// LSHBits / LSHTables parameterize VectorLSH.
 	LSHBits   int
 	LSHTables int
+	// Quantize stores VectorFlat shards as int8 scalar-quantized codes
+	// scanned approximately and re-ranked exactly (vecindex.SQFlat) —
+	// a memory-bandwidth optimization for large flat shards. Only valid
+	// with VectorFlat.
+	Quantize bool
+	// RerankMultiple is the quantized scan's candidate multiple: the
+	// approximate pass keeps RerankMultiple×k candidates for exact
+	// re-ranking. <= 0 means vecindex.DefaultRerank. A runtime accuracy
+	// knob: it does not change the snapshot layout.
+	RerankMultiple int
 	// Kinds lists the instance granularities to index. Tables are indexed
 	// whole AND per-tuple when both kinds are present, matching the paper's
 	// lake of tuples, tables, and text.
@@ -157,6 +167,9 @@ func newIndexer(lake *datalake.Lake, cfg *IndexerConfig) (*Indexer, error) {
 	}
 	if !cfg.EnableBM25 && !cfg.EnableVector {
 		return nil, fmt.Errorf("core: indexer needs at least one index family enabled")
+	}
+	if cfg.Quantize && cfg.Vector != VectorFlat {
+		return nil, fmt.Errorf("core: Quantize requires VectorFlat (got kind %d)", int(cfg.Vector))
 	}
 	workers := cfg.RetrieveWorkers
 	if workers <= 0 {
@@ -266,6 +279,9 @@ func (ix *Indexer) Embedder() *embed.Embedder { return ix.emb }
 func (ix *Indexer) newVectorIndex() (vectorIndex, error) {
 	switch ix.cfg.Vector {
 	case VectorFlat:
+		if ix.cfg.Quantize {
+			return vecindex.NewSQFlat(ix.cfg.EmbedDim, vecindex.Cosine, ix.cfg.RerankMultiple), nil
+		}
 		return vecindex.NewFlat(ix.cfg.EmbedDim, vecindex.Cosine), nil
 	case VectorIVF:
 		return vecindex.NewIVF(ix.cfg.EmbedDim, vecindex.Cosine, ix.cfg.IVFLists, ix.cfg.IVFProbes, ix.cfg.Seed), nil

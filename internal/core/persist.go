@@ -44,6 +44,7 @@ type snapshotConfig struct {
 	IVFProbes    int             `json:"ivf_probes,omitempty"`
 	LSHBits      int             `json:"lsh_bits,omitempty"`
 	LSHTables    int             `json:"lsh_tables,omitempty"`
+	Quantize     bool            `json:"quantize,omitempty"`
 	Kinds        []datalake.Kind `json:"kinds"`
 	ChunkTokens  int             `json:"chunk_tokens"`
 	Shards       int             `json:"shards"`
@@ -56,9 +57,13 @@ func canonicalConfig(cfg IndexerConfig) ([]byte, error) {
 		EnableBM25: cfg.EnableBM25, EnableVector: cfg.EnableVector, Vector: cfg.Vector,
 		Kinds: cfg.Kinds, ChunkTokens: cfg.ChunkTokens, Shards: cfg.Shards,
 	}
-	// Only the selected family's parameters pin the layout.
+	// Only the selected family's parameters pin the layout. RerankMultiple
+	// is deliberately excluded: it tunes the quantized scan at query time
+	// without changing what is stored.
 	if cfg.EnableVector {
 		switch cfg.Vector {
+		case VectorFlat:
+			sc.Quantize = cfg.Quantize
 		case VectorIVF:
 			sc.IVFLists, sc.IVFProbes = cfg.IVFLists, cfg.IVFProbes
 		case VectorLSH:
@@ -160,6 +165,56 @@ func (fz *FrozenIndexes) Save(dir string, lakeVersion uint64) error {
 	return nil
 }
 
+// SaveLegacy writes the frozen shards in the pre-binfmt encoding/gob
+// format (plus the same pinning metadata), kept for read-compatibility
+// tests and the recovery benchmarks' legacy baseline. Quantized captures
+// have no legacy format and are rejected by vecindex.SaveLegacy.
+func (fz *FrozenIndexes) SaveLegacy(dir string, lakeVersion uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: snapshot mkdir: %w", err)
+	}
+	save := func(path string, fn func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("core: create snapshot file: %w", err)
+		}
+		err = fn(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("core: write %s: %w", filepath.Base(path), err)
+		}
+		return nil
+	}
+	for kind, shards := range fz.bm25 {
+		for si, sh := range shards {
+			if err := save(shardFile(dir, familyBM25, kind, si), func(f *os.File) error { return sh.SaveGob(f) }); err != nil {
+				return err
+			}
+		}
+	}
+	for kind, shards := range fz.vec {
+		for si, sh := range shards {
+			if err := save(shardFile(dir, familyVector, kind, si), func(f *os.File) error { return vecindex.SaveLegacy(sh, f) }); err != nil {
+				return err
+			}
+		}
+	}
+	cc, err := canonicalConfig(fz.cfg)
+	if err != nil {
+		return fmt.Errorf("core: snapshot config: %w", err)
+	}
+	meta, err := json.MarshalIndent(snapshotMeta{Format: snapshotFormat, LakeVersion: lakeVersion, Config: cc}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: snapshot meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), meta, 0o644); err != nil {
+		return fmt.Errorf("core: write snapshot meta: %w", err)
+	}
+	return nil
+}
+
 // SaveSnapshot writes every index shard plus the pinning metadata to dir
 // (created if needed): Freeze + FrozenIndexes.Save in one call. Call it
 // only while the lake is quiesced at lakeVersion (e.g. inside
@@ -224,58 +279,62 @@ func BuildIndexerFromSnapshot(lake *datalake.Lake, cfg IndexerConfig, dir string
 }
 
 // loadSnapshotShards replaces the indexer's empty shard structures with
-// the snapshot's contents.
+// the snapshot's contents. Shards are opened by path so binfmt snapshots
+// can be memory-mapped and served lazily: startup pays one verification
+// pass per shard, and vector/posting pages fault in as queries touch
+// them. A missing shard file is an ErrSnapshotMismatch (rebuild instead);
+// a shard that exists but fails to open is surfaced loudly — that is
+// corruption, not staleness.
 func (ix *Indexer) loadSnapshotShards(dir string) error {
-	load := func(path string, fn func(f *os.File) error) error {
-		f, err := os.Open(path)
-		if err != nil {
+	stat := func(path string) error {
+		if _, err := os.Stat(path); err != nil {
 			return fmt.Errorf("%w (missing shard file %s)", ErrSnapshotMismatch, filepath.Base(path))
 		}
-		err = fn(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		return err
+		return nil
 	}
 	for kind, shards := range ix.bm25 {
 		for si := range shards {
-			err := load(shardFile(dir, familyBM25, kind, si), func(f *os.File) error {
-				loaded, err := invindex.Load(f)
-				if err != nil {
-					return err
-				}
-				shards[si] = loaded
-				return nil
-			})
+			path := shardFile(dir, familyBM25, kind, si)
+			if err := stat(path); err != nil {
+				return err
+			}
+			loaded, err := invindex.OpenFile(path)
 			if err != nil {
 				return err
 			}
+			shards[si] = loaded
 		}
 	}
 	for kind, shards := range ix.vec {
 		for si := range shards {
-			err := load(shardFile(dir, familyVector, kind, si), func(f *os.File) error {
-				var loaded vectorIndex
-				var err error
-				switch ix.cfg.Vector {
-				case VectorFlat:
-					loaded, err = vecindex.LoadFlat(f)
-				case VectorIVF:
-					loaded, err = vecindex.LoadIVF(f)
-				case VectorLSH:
-					loaded, err = vecindex.LoadLSH(f)
-				default:
-					return fmt.Errorf("core: unknown vector index kind %d", int(ix.cfg.Vector))
+			path := shardFile(dir, familyVector, kind, si)
+			if err := stat(path); err != nil {
+				return err
+			}
+			var loaded vectorIndex
+			var err error
+			switch {
+			case ix.cfg.Vector == VectorFlat && ix.cfg.Quantize:
+				var sq *vecindex.SQFlat
+				if sq, err = vecindex.OpenSQFile(path); err == nil {
+					if ix.cfg.RerankMultiple > 0 {
+						sq.SetRerank(ix.cfg.RerankMultiple)
+					}
+					loaded = sq
 				}
-				if err != nil {
-					return err
-				}
-				shards[si] = loaded
-				return nil
-			})
+			case ix.cfg.Vector == VectorFlat:
+				loaded, err = vecindex.OpenFlatFile(path)
+			case ix.cfg.Vector == VectorIVF:
+				loaded, err = vecindex.OpenIVFFile(path)
+			case ix.cfg.Vector == VectorLSH:
+				loaded, err = vecindex.OpenLSHFile(path)
+			default:
+				return fmt.Errorf("core: unknown vector index kind %d", int(ix.cfg.Vector))
+			}
 			if err != nil {
 				return err
 			}
+			shards[si] = loaded
 		}
 	}
 	return nil

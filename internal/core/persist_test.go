@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/datalake"
@@ -155,4 +157,138 @@ func TestSnapshotMismatch(t *testing.T) {
 		t.Fatalf("tuning-only change refused the snapshot: %v", err)
 	}
 	loaded.Close()
+}
+
+// TestQuantizedSnapshotRoundTrip exercises the int8-quantized flat family
+// end to end: build, snapshot, recover, retrieve identically, stay live.
+func TestQuantizedSnapshotRoundTrip(t *testing.T) {
+	lake := buildPersistLake(t)
+	cfg := DefaultIndexerConfig(7)
+	cfg.Quantize = true
+	cfg.RerankMultiple = 8
+	cfg.Shards = 2
+	ix, err := BuildIndexer(lake, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	dir := t.TempDir()
+	if err := lake.Quiesce(func(v uint64) error { return ix.SaveSnapshot(dir, v) }); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := BuildIndexerFromSnapshot(lake, cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	for _, query := range []string{"season 2 championship", "alice score"} {
+		_, a := ix.Retrieve(query, 10)
+		_, b := loaded.Retrieve(query, 10)
+		if len(a) != len(b) {
+			t.Fatalf("query %q: candidate counts differ (%d vs %d)", query, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("query %q candidate %d drifted: %s vs %s", query, i, a[i], b[i])
+			}
+		}
+	}
+	// Still live after recovery.
+	if err := lake.AddDocument(&doc.Document{ID: "fresh", Text: "completely fresh zanzibar content", SourceID: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	_, got := loaded.Retrieve("zanzibar", 5, datalake.KindText)
+	if len(got) == 0 || got[0] != "text:fresh" {
+		t.Fatalf("quantized snapshot indexer did not index live ingest: %v", got)
+	}
+
+	// Toggling quantization changes the stored layout: the fingerprint must
+	// refuse the snapshot rather than misread it.
+	plain := cfg
+	plain.Quantize = false
+	if _, err := BuildIndexerFromSnapshot(lake, plain, dir); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("quantize toggle error = %v, want ErrSnapshotMismatch", err)
+	}
+}
+
+func TestQuantizeRequiresFlat(t *testing.T) {
+	lake := buildPersistLake(t)
+	cfg := DefaultIndexerConfig(7)
+	cfg.Quantize = true
+	cfg.Vector = VectorIVF
+	if _, err := BuildIndexer(lake, cfg); err == nil {
+		t.Fatal("Quantize with VectorIVF accepted")
+	}
+}
+
+// TestLegacySnapshotRecovery proves a gob-format snapshot directory (the
+// pre-binfmt layout) still recovers through the same entry point.
+func TestLegacySnapshotRecovery(t *testing.T) {
+	lake := buildPersistLake(t)
+	cfg := DefaultIndexerConfig(7)
+	cfg.Shards = 2
+	ix, err := BuildIndexer(lake, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	dir := t.TempDir()
+	if err := lake.Quiesce(func(v uint64) error { return ix.Freeze().SaveLegacy(dir, v) }); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := BuildIndexerFromSnapshot(lake, cfg, dir)
+	if err != nil {
+		t.Fatalf("legacy snapshot refused: %v", err)
+	}
+	defer loaded.Close()
+	for _, query := range []string{"season 2 championship", "player1 league"} {
+		_, a := ix.Retrieve(query, 10)
+		_, b := loaded.Retrieve(query, 10)
+		if len(a) != len(b) {
+			t.Fatalf("query %q: candidate counts differ (%d vs %d)", query, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("query %q candidate %d drifted: %s vs %s", query, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestCorruptShardFailsLoudly distinguishes corruption from staleness: a
+// present-but-mangled shard must surface an error that is NOT
+// ErrSnapshotMismatch, so operators never silently rebuild over bad disks.
+func TestCorruptShardFailsLoudly(t *testing.T) {
+	lake := buildPersistLake(t)
+	cfg := DefaultIndexerConfig(7)
+	ix, err := BuildIndexer(lake, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	dir := t.TempDir()
+	if err := lake.Quiesce(func(v uint64) error { return ix.SaveSnapshot(dir, v) }); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "bm25-*.idx"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no bm25 shard files: %v", err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(matches[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = BuildIndexerFromSnapshot(lake, cfg, dir)
+	if err == nil {
+		t.Fatal("corrupt shard loaded without error")
+	}
+	if errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("corruption reported as staleness: %v", err)
+	}
 }

@@ -25,25 +25,50 @@ import (
 // Vector is a dense embedding.
 type Vector []float32
 
+// The similarity kernels below are the innermost loops of every vector
+// search, so they are 4-wide unrolled over four independent accumulators
+// (breaking the loop-carried add dependency) with the bounds checks
+// hoisted via explicit reslicing. Unrolling reassociates the float64
+// summation, so results may differ from a naive loop in the last ULPs —
+// every ranking in the repo goes through these same kernels, so rankings
+// stay internally consistent.
+
 // Dot returns the inner product of a and b. Panics on dimension mismatch.
 func Dot(a, b Vector) float64 {
 	if len(a) != len(b) {
 		panic("embed: dimension mismatch")
 	}
-	var s float64
-	for i := range a {
-		s += float64(a[i]) * float64(b[i])
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aa, bb := a[i:i+4:i+4], b[i:i+4:i+4]
+		s0 += float64(aa[0]) * float64(bb[0])
+		s1 += float64(aa[1]) * float64(bb[1])
+		s2 += float64(aa[2]) * float64(bb[2])
+		s3 += float64(aa[3]) * float64(bb[3])
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += float64(a[i]) * float64(b[i])
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Norm returns the Euclidean norm of v.
 func Norm(v Vector) float64 {
-	var s float64
-	for _, x := range v {
-		s += float64(x) * float64(x)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		vv := v[i : i+4 : i+4]
+		s0 += float64(vv[0]) * float64(vv[0])
+		s1 += float64(vv[1]) * float64(vv[1])
+		s2 += float64(vv[2]) * float64(vv[2])
+		s3 += float64(vv[3]) * float64(vv[3])
 	}
-	return math.Sqrt(s)
+	for ; i < len(v); i++ {
+		s0 += float64(v[i]) * float64(v[i])
+	}
+	return math.Sqrt((s0 + s1) + (s2 + s3))
 }
 
 // Cosine returns the cosine similarity of a and b (0 when either is zero).
@@ -60,12 +85,25 @@ func L2Sq(a, b Vector) float64 {
 	if len(a) != len(b) {
 		panic("embed: dimension mismatch")
 	}
-	var s float64
-	for i := range a {
-		d := float64(a[i]) - float64(b[i])
-		s += d * d
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aa, bb := a[i:i+4:i+4], b[i:i+4:i+4]
+		d0 := float64(aa[0]) - float64(bb[0])
+		d1 := float64(aa[1]) - float64(bb[1])
+		d2 := float64(aa[2]) - float64(bb[2])
+		d3 := float64(aa[3]) - float64(bb[3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	return s
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Normalize scales v to unit norm in place. Zero vectors stay zero.

@@ -235,3 +235,19 @@ func TestAblateVectorIndex(t *testing.T) {
 		t.Errorf("LSH recall %v exceeds exact %v", points["lsh"].Recall, points["flat"].Recall)
 	}
 }
+
+func TestAblateQuantizationRecall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	env := sharedEnv(t)
+	pt, err := env.AblateQuantization(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("quantized recall@%d vs exact = %.3f (quant %.0fµs, exact %.0fµs)",
+		pt.K, pt.RecallAtK, pt.QueryMicros, pt.ExactQueryMicros)
+	if pt.RecallAtK < 0.95 {
+		t.Errorf("quantized recall@%d = %.3f, want >= 0.95", pt.K, pt.RecallAtK)
+	}
+}

@@ -58,3 +58,77 @@ func (e *Env) AblateVectorIndex() (map[string]VectorIndexPoint, error) {
 	}
 	return out, nil
 }
+
+// QuantizationPoint measures int8 scalar quantization with exact re-rank
+// against the exact flat index on identical queries.
+type QuantizationPoint struct {
+	// RecallAtK is the mean overlap@k between the quantized index's top-k
+	// and the exact flat index's top-k — recall against the exact results,
+	// not against task ground truth, isolating the quantization error.
+	RecallAtK float64
+	// K is the cutoff measured.
+	K int
+	// QueryMicros / ExactQueryMicros are mean per-query latencies.
+	QueryMicros      float64
+	ExactQueryMicros float64
+}
+
+// AblateQuantization runs claim→table retrieval through an exact flat
+// indexer and an int8-quantized one (rerankMultiple×k candidates re-ranked
+// exactly), reporting how often the quantized top-k agrees with the exact
+// top-k. The acceptance bar for the serving default (rerank multiple 4) is
+// recall@10 >= 0.95.
+func (e *Env) AblateQuantization(k, rerankMultiple int) (QuantizationPoint, error) {
+	base := core.DefaultIndexerConfig(e.Config.Corpus.Seed)
+	base.EnableBM25 = false
+	base.Vector = core.VectorFlat
+	base.Kinds = []datalake.Kind{datalake.KindTable}
+
+	exactCfg := base
+	exact, err := core.BuildIndexer(e.Corpus.Lake, exactCfg)
+	if err != nil {
+		return QuantizationPoint{}, fmt.Errorf("experiments: build exact indexer: %w", err)
+	}
+	defer exact.Close()
+
+	quantCfg := base
+	quantCfg.Quantize = true
+	quantCfg.RerankMultiple = rerankMultiple
+	quant, err := core.BuildIndexer(e.Corpus.Lake, quantCfg)
+	if err != nil {
+		return QuantizationPoint{}, fmt.Errorf("experiments: build quantized indexer: %w", err)
+	}
+	defer quant.Close()
+
+	var overlap, total int
+	var exactElapsed, quantElapsed time.Duration
+	for i, task := range e.ClaimTasks {
+		g := e.ClaimObject(i, task)
+		q := g.Query()
+
+		start := time.Now()
+		_, exactIDs := exact.Retrieve(q, k, datalake.KindTable)
+		exactElapsed += time.Since(start)
+
+		start = time.Now()
+		_, quantIDs := quant.Retrieve(q, k, datalake.KindTable)
+		quantElapsed += time.Since(start)
+
+		want := set(trim(exactIDs, k)...)
+		for _, id := range trim(quantIDs, k) {
+			if _, ok := want[id]; ok {
+				overlap++
+			}
+		}
+		total += len(want)
+	}
+	pt := QuantizationPoint{K: k}
+	if total > 0 {
+		pt.RecallAtK = float64(overlap) / float64(total)
+	}
+	if n := len(e.ClaimTasks); n > 0 {
+		pt.QueryMicros = float64(quantElapsed.Microseconds()) / float64(n)
+		pt.ExactQueryMicros = float64(exactElapsed.Microseconds()) / float64(n)
+	}
+	return pt, nil
+}

@@ -25,19 +25,29 @@ type posting struct {
 	freq int32 // term frequency in the document
 }
 
-// Index is a BM25 inverted index over string documents.
+// Index is a BM25 inverted index over string documents. It has up to two
+// tiers: an optional immutable base segment (a binfmt snapshot, typically
+// mmap'd — see OpenFile) occupying global ordinals [0, base.n), and the
+// mutable delta below whose local ordinals follow at base.n. New documents
+// always land in the delta; deletions of base documents only flip a bit in
+// baseDeleted, so the base columns are never written.
 type Index struct {
 	mu sync.RWMutex
 
 	analyze Analyzer
 	k1, b   float64
 
-	ids      []string       // ordinal -> external ID
-	byID     map[string]int // external ID -> ordinal
-	lengths  []int32        // ordinal -> token count
-	deleted  []bool         // tombstones
+	base         *staticSeg
+	baseDeleted  []bool // tombstones for base ordinals
+	baseLive     int
+	baseTotalLen int64 // sum of lengths of live base documents
+
+	ids      []string       // delta ordinal -> external ID
+	byID     map[string]int // external ID -> delta ordinal
+	lengths  []int32        // delta ordinal -> token count
+	deleted  []bool         // delta tombstones
 	postings map[string][]posting
-	// totalLen is the sum of lengths of live documents, for avgdl.
+	// totalLen is the sum of lengths of live delta documents, for avgdl.
 	totalLen int64
 	liveDocs int
 }
@@ -86,6 +96,11 @@ func (ix *Index) AddTerms(id string, terms []string) error {
 	if ord, ok := ix.byID[id]; ok && !ix.deleted[ord] {
 		return fmt.Errorf("invindex: duplicate document id %q", id)
 	}
+	if ix.base != nil {
+		if bo := ix.base.findDoc(id); bo >= 0 && !ix.baseDeleted[bo] {
+			return fmt.Errorf("invindex: duplicate document id %q", id)
+		}
+	}
 	ord := len(ix.ids)
 	ix.ids = append(ix.ids, id)
 	ix.byID[id] = ord
@@ -113,12 +128,22 @@ const compactThreshold = 64
 
 // Delete tombstones a document, compacting the index once tombstones
 // dominate. Deleting an unknown or already-deleted id is a no-op returning
-// false.
+// false. Base-segment documents are tombstoned in a side bitmap and never
+// compacted: the base columns are immutable (often a read-only mapping),
+// and dead base entries cost one skipped pair per query.
 func (ix *Index) Delete(id string) bool {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	ord, ok := ix.byID[id]
 	if !ok || ix.deleted[ord] {
+		if ix.base != nil {
+			if bo := ix.base.findDoc(id); bo >= 0 && !ix.baseDeleted[bo] {
+				ix.baseDeleted[bo] = true
+				ix.baseLive--
+				ix.baseTotalLen -= int64(ix.base.lengths[bo])
+				return true
+			}
+		}
 		return false
 	}
 	ix.deleted[ord] = true
@@ -168,20 +193,36 @@ func (ix *Index) compactLocked() {
 func (ix *Index) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.liveDocs
+	return ix.liveDocs + ix.baseLive
 }
 
 // Contains reports whether id is indexed and live.
 func (ix *Index) Contains(id string) bool {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	ord, ok := ix.byID[id]
-	return ok && !ix.deleted[ord]
+	if ord, ok := ix.byID[id]; ok && !ix.deleted[ord] {
+		return true
+	}
+	if ix.base != nil {
+		if bo := ix.base.findDoc(id); bo >= 0 && !ix.baseDeleted[bo] {
+			return true
+		}
+	}
+	return false
 }
 
 // Terms returns the number of distinct terms in the index.
 func (ix *Index) Terms() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.postings)
+	if ix.base == nil {
+		return len(ix.postings)
+	}
+	n := ix.base.terms.Len()
+	for t := range ix.postings {
+		if ix.base.findTerm(t) < 0 {
+			n++
+		}
+	}
+	return n
 }

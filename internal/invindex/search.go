@@ -1,9 +1,10 @@
 package invindex
 
 import (
-	"container/heap"
 	"math"
-	"sort"
+	"slices"
+	"sync"
+	"unsafe"
 )
 
 // Hit is one search result.
@@ -25,49 +26,104 @@ func (ix *Index) Search(query string, k int) []Hit {
 // with SearchTerms).
 func (ix *Index) Analyze(text string) []string { return ix.analyze(text) }
 
+// searchScratch holds every buffer SearchTerms needs, pooled so the steady
+// path performs no per-query allocations: query terms and weights, a dense
+// per-ordinal score accumulator reset via the touched list, and the top-k
+// heap. scores entries are zero except between scoring and reset.
+type searchScratch struct {
+	terms   []string
+	qw      []float64
+	scores  []float64
+	touched []int32
+	heap    []scoredDoc
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// scoredDoc pairs a global document ordinal with its score inside the
+// top-k heap.
+type scoredDoc struct {
+	doc   int32
+	score float64
+}
+
 // SearchTerms is Search over pre-analyzed query terms.
+//
+// The steady path is allocation-free apart from the returned slice (and,
+// for hits resolved from an mmap'd base segment, materializing their ID
+// strings): scoring uses pooled scratch buffers, the heap is sifted
+// manually, and ID tie-breaks compare bytes in place.
 func (ix *Index) SearchTerms(terms []string, k int) []Hit {
-	if k <= 0 {
-		return nil
-	}
-	if len(terms) == 0 {
+	if k <= 0 || len(terms) == 0 {
 		return nil
 	}
 
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	if ix.liveDocs == 0 {
+	nLive := ix.liveDocs + ix.baseLive
+	if nLive == 0 {
 		return nil
 	}
-	avgdl := float64(ix.totalLen) / float64(ix.liveDocs)
-	n := float64(ix.liveDocs)
+	baseN := 0
+	if ix.base != nil {
+		baseN = ix.base.n
+	}
+	nOrds := baseN + len(ix.ids)
+	avgdl := float64(ix.totalLen+ix.baseTotalLen) / float64(nLive)
+	n := float64(nLive)
+
+	sc := scratchPool.Get().(*searchScratch)
 
 	// Collapse duplicate query terms; BM25 treats repeated query terms as
 	// multiplied weight. Terms are then scored in sorted order: per-doc
 	// score accumulation is floating-point addition, which is not
-	// associative, so map-order iteration would make the same query score
+	// associative, so unordered iteration would make the same query score
 	// the same document differently across calls (a last-ULP flicker that
 	// can reorder near-tied rankings).
-	qf := make(map[string]float64, len(terms))
-	for _, t := range terms {
-		qf[t]++
+	sc.terms = append(sc.terms[:0], terms...)
+	slices.Sort(sc.terms)
+	sc.qw = sc.qw[:0]
+	w := 0
+	for i := 0; i < len(sc.terms); {
+		j := i + 1
+		for j < len(sc.terms) && sc.terms[j] == sc.terms[i] {
+			j++
+		}
+		sc.terms[w] = sc.terms[i]
+		sc.qw = append(sc.qw, float64(j-i))
+		w++
+		i = j
 	}
-	uniq := make([]string, 0, len(qf))
-	for t := range qf {
-		uniq = append(uniq, t)
-	}
-	sort.Strings(uniq)
+	sc.terms = sc.terms[:w]
 
-	scores := make(map[int32]float64)
-	for _, t := range uniq {
-		qw := qf[t]
-		plist, ok := ix.postings[t]
-		if !ok {
+	// Dense score accumulator indexed by global ordinal; entries are
+	// always zero outside the scoring window, and every live BM25
+	// contribution is positive, so zero doubles as "untouched".
+	if len(sc.scores) < nOrds {
+		sc.scores = make([]float64, nOrds)
+	}
+	scores, touched := sc.scores, sc.touched[:0]
+
+	for ti, t := range sc.terms {
+		qw := sc.qw[ti]
+		var basePairs []int32
+		if ix.base != nil {
+			if bt := ix.base.findTerm(t); bt >= 0 {
+				basePairs = ix.base.pairs(bt)
+			}
+		}
+		plist := ix.postings[t]
+		if len(basePairs) == 0 && len(plist) == 0 {
 			continue
 		}
-		// Live document frequency for IDF. Tombstoned postings still appear
-		// in the list but are skipped below; df uses live count.
+		// Live document frequency for IDF. Tombstoned postings still
+		// appear in the lists but are skipped below; df uses live count.
 		df := 0
+		for i := 0; i+1 < len(basePairs); i += 2 {
+			if !ix.baseDeleted[basePairs[i]] {
+				df++
+			}
+		}
 		for _, p := range plist {
 			if !ix.deleted[p.doc] {
 				df++
@@ -77,75 +133,156 @@ func (ix *Index) SearchTerms(terms []string, k int) []Hit {
 			continue
 		}
 		idf := math.Log(1 + (n-float64(df)+0.5)/(float64(df)+0.5))
+		for i := 0; i+1 < len(basePairs); i += 2 {
+			doc := basePairs[i]
+			if ix.baseDeleted[doc] {
+				continue
+			}
+			tf := float64(basePairs[i+1])
+			dl := float64(ix.base.lengths[doc])
+			norm := tf * (ix.k1 + 1) / (tf + ix.k1*(1-ix.b+ix.b*dl/avgdl))
+			if scores[doc] == 0 {
+				touched = append(touched, doc)
+			}
+			scores[doc] += qw * idf * norm
+		}
 		for _, p := range plist {
 			if ix.deleted[p.doc] {
 				continue
 			}
+			ord := int32(baseN) + p.doc
 			tf := float64(p.freq)
 			dl := float64(ix.lengths[p.doc])
 			norm := tf * (ix.k1 + 1) / (tf + ix.k1*(1-ix.b+ix.b*dl/avgdl))
-			scores[p.doc] += qw * idf * norm
+			if scores[ord] == 0 {
+				touched = append(touched, ord)
+			}
+			scores[ord] += qw * idf * norm
 		}
 	}
-	if len(scores) == 0 {
+
+	var out []Hit
+	if len(touched) > 0 {
+		out = ix.topK(scores, touched, k, sc)
+	}
+
+	// Reset the accumulator via the touched list and recycle the scratch.
+	for _, ord := range touched {
+		scores[ord] = 0
+	}
+	sc.touched = touched[:0]
+	scratchPool.Put(sc)
+	return out
+}
+
+// ordIDBytes returns the external ID of a global ordinal as a zero-copy
+// byte view, for tie-break comparisons without materializing strings.
+func (ix *Index) ordIDBytes(ord int32) []byte {
+	if ix.base != nil && int(ord) < ix.base.n {
+		return ix.base.ids.Bytes(int(ord))
+	}
+	s := ix.ids[int(ord)-ix.baseLen()]
+	if len(s) == 0 {
 		return nil
 	}
-	return ix.topK(scores, k)
+	return unsafe.Slice(unsafe.StringData(s), len(s))
 }
 
-// scoredDoc pairs a document ordinal with its score inside the top-k heap.
-type scoredDoc struct {
-	doc   int32
-	score float64
+// ordID materializes the external ID of a global ordinal. Delta IDs are
+// returned without copying; base IDs allocate one string (only the k
+// returned hits pay this).
+func (ix *Index) ordID(ord int32) string {
+	if ix.base != nil && int(ord) < ix.base.n {
+		return ix.base.ids.At(int(ord))
+	}
+	return ix.ids[int(ord)-ix.baseLen()]
 }
 
-// minHeap keeps the k best hits; the worst of the kept hits is at the root.
-type minHeap struct {
-	items []scoredDoc
-	ids   []string
+func (ix *Index) baseLen() int {
+	if ix.base == nil {
+		return 0
+	}
+	return ix.base.n
 }
 
-func (h *minHeap) Len() int { return len(h.items) }
-func (h *minHeap) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
+// worse reports whether hit a ranks strictly below hit b: lower score, or
+// equal score and lexicographically larger ID (so the min-heap keeps the
+// smaller IDs on ties, matching the output order's ascending-ID rule).
+func (ix *Index) worse(a, b scoredDoc) bool {
 	if a.score != b.score {
 		return a.score < b.score
 	}
-	// Inverted tie-break: with equal scores the lexicographically larger ID
-	// is "worse" so it gets evicted first, keeping smaller IDs.
-	return h.ids[a.doc] > h.ids[b.doc]
-}
-func (h *minHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *minHeap) Push(x interface{}) { h.items = append(h.items, x.(scoredDoc)) }
-func (h *minHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+	return bytesGreater(ix.ordIDBytes(a.doc), ix.ordIDBytes(b.doc))
 }
 
-// topK selects the k best scored documents deterministically.
-// Caller must hold at least a read lock.
-func (ix *Index) topK(scores map[int32]float64, k int) []Hit {
-	h := &minHeap{ids: ix.ids, items: make([]scoredDoc, 0, k+1)}
-	for d, s := range scores {
-		heap.Push(h, scoredDoc{doc: d, score: s})
-		if h.Len() > k {
-			heap.Pop(h)
+func bytesGreater(a, b []byte) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] > b[i]
 		}
 	}
-	out := make([]Hit, h.Len())
-	for i := range out {
-		out[i] = Hit{ID: ix.ids[h.items[i].doc], Score: h.items[i].score}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	return len(a) > len(b)
+}
+
+// topK selects the k best touched ordinals with a manually-sifted bounded
+// min-heap (container/heap would box every element) and returns them best
+// first. Caller must hold at least a read lock.
+func (ix *Index) topK(scores []float64, touched []int32, k int, sc *searchScratch) []Hit {
+	h := sc.heap[:0]
+	for _, ord := range touched {
+		cand := scoredDoc{doc: ord, score: scores[ord]}
+		if len(h) < k {
+			h = append(h, cand)
+			// Sift up.
+			for i := len(h) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !ix.worse(h[i], h[parent]) {
+					break
+				}
+				h[i], h[parent] = h[parent], h[i]
+				i = parent
+			}
+			continue
 		}
-		return out[i].ID < out[j].ID
-	})
+		if ix.worse(cand, h[0]) {
+			continue
+		}
+		h[0] = cand
+		ix.siftDown(h, 0)
+	}
+	out := make([]Hit, len(h))
+	// Pop ascending; fill the output back to front for best-first order.
+	for i := len(h) - 1; i >= 0; i-- {
+		top := h[0]
+		out[i] = Hit{ID: ix.ordID(top.doc), Score: top.score}
+		h[0] = h[len(h)-1]
+		h = h[:len(h)-1]
+		ix.siftDown(h, 0)
+	}
+	sc.heap = h[:0]
 	return out
+}
+
+func (ix *Index) siftDown(h []scoredDoc, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && ix.worse(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && ix.worse(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // Explain returns the per-term BM25 contributions for a (query, document)
@@ -156,27 +293,59 @@ func (ix *Index) Explain(query, id string) (map[string]float64, bool) {
 	terms := ix.analyze(query)
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	ord, okID := ix.byID[id]
-	if !okID || ix.deleted[ord] || ix.liveDocs == 0 {
+	nLive := ix.liveDocs + ix.baseLive
+	if nLive == 0 {
 		return nil, false
 	}
-	avgdl := float64(ix.totalLen) / float64(ix.liveDocs)
-	n := float64(ix.liveDocs)
+	// Resolve id to a global ordinal across both tiers.
+	ord := int32(-1)
+	if o, okID := ix.byID[id]; okID && !ix.deleted[o] {
+		ord = int32(ix.baseLen() + o)
+	} else if ix.base != nil {
+		if bo := ix.base.findDoc(id); bo >= 0 && !ix.baseDeleted[bo] {
+			ord = bo
+		}
+	}
+	if ord < 0 {
+		return nil, false
+	}
+	baseN := ix.baseLen()
+	var dl float64
+	if int(ord) < baseN {
+		dl = float64(ix.base.lengths[ord])
+	} else {
+		dl = float64(ix.lengths[int(ord)-baseN])
+	}
+	avgdl := float64(ix.totalLen+ix.baseTotalLen) / float64(nLive)
+	n := float64(nLive)
 	qf := make(map[string]float64, len(terms))
 	for _, t := range terms {
 		qf[t]++
 	}
 	out := make(map[string]float64)
 	for t, qw := range qf {
-		plist := ix.postings[t]
 		df := 0
 		var tf float64
-		for _, p := range plist {
+		if ix.base != nil {
+			if bt := ix.base.findTerm(t); bt >= 0 {
+				pairs := ix.base.pairs(bt)
+				for i := 0; i+1 < len(pairs); i += 2 {
+					if ix.baseDeleted[pairs[i]] {
+						continue
+					}
+					df++
+					if pairs[i] == ord {
+						tf = float64(pairs[i+1])
+					}
+				}
+			}
+		}
+		for _, p := range ix.postings[t] {
 			if ix.deleted[p.doc] {
 				continue
 			}
 			df++
-			if p.doc == int32(ord) {
+			if int32(baseN)+p.doc == ord {
 				tf = float64(p.freq)
 			}
 		}
@@ -184,7 +353,6 @@ func (ix *Index) Explain(query, id string) (map[string]float64, bool) {
 			continue
 		}
 		idf := math.Log(1 + (n-float64(df)+0.5)/(float64(df)+0.5))
-		dl := float64(ix.lengths[ord])
 		norm := tf * (ix.k1 + 1) / (tf + ix.k1*(1-ix.b+ix.b*dl/avgdl))
 		out[t] = qw * idf * norm
 	}

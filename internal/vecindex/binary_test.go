@@ -1,0 +1,209 @@
+package vecindex
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/binfmt"
+	"repro/internal/embed"
+)
+
+// sameVecHits fails unless a and b agree exactly (IDs and scores).
+func sameVecHits(t *testing.T, label string, a, b []Hit) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: hit counts differ: %v vs %v", label, a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("%s: hit %d: %+v vs %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+func writeSnapshotFile(t *testing.T, save func(w io.Writer) error) (string, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "vec.idx")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, buf.Bytes()
+}
+
+func TestOpenVectorFilesServeMapped(t *testing.T) {
+	const dim = 12
+	vecs := randomVectors(150, dim, 51)
+	queries := randomVectors(6, dim, 52)
+
+	flat := NewFlat(dim, Cosine)
+	ivf := NewIVF(dim, Cosine, 8, 3, 99)
+	lsh := NewLSH(dim, 10, 4, 99)
+	for i, v := range vecs {
+		id := fmt.Sprintf("v%03d", i)
+		for _, add := range []func(string, embed.Vector) error{flat.Add, ivf.Add, lsh.Add} {
+			if err := add(id, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ivf.Train()
+
+	t.Run("flat", func(t *testing.T) {
+		path, _ := writeSnapshotFile(t, flat.Save)
+		got, err := OpenFlatFile(path)
+		if err != nil {
+			t.Fatalf("OpenFlatFile: %v", err)
+		}
+		for qi, q := range queries {
+			sameVecHits(t, fmt.Sprintf("query %d", qi), flat.Search(q, 10), got.Search(q, 10))
+		}
+		// The loaded index stays mutable: vector views are copy-on-grow.
+		if err := got.Add("extra", queries[0]); err != nil {
+			t.Fatalf("Add after open: %v", err)
+		}
+		if !got.Remove("v000") {
+			t.Error("Remove after open = false")
+		}
+	})
+	t.Run("ivf", func(t *testing.T) {
+		path, _ := writeSnapshotFile(t, ivf.Save)
+		got, err := OpenIVFFile(path)
+		if err != nil {
+			t.Fatalf("OpenIVFFile: %v", err)
+		}
+		for qi, q := range queries {
+			sameVecHits(t, fmt.Sprintf("query %d", qi), ivf.Search(q, 10), got.Search(q, 10))
+		}
+		if err := got.Add("extra", queries[0]); err != nil {
+			t.Fatalf("Add after open: %v", err)
+		}
+	})
+	t.Run("lsh", func(t *testing.T) {
+		path, _ := writeSnapshotFile(t, lsh.Save)
+		got, err := OpenLSHFile(path)
+		if err != nil {
+			t.Fatalf("OpenLSHFile: %v", err)
+		}
+		for qi, q := range queries {
+			sameVecHits(t, fmt.Sprintf("query %d", qi), lsh.Search(q, 10), got.Search(q, 10))
+		}
+	})
+	t.Run("flat-no-mmap", func(t *testing.T) {
+		t.Setenv(binfmt.NoMmapEnv, "1")
+		path, _ := writeSnapshotFile(t, flat.Save)
+		got, err := OpenFlatFile(path)
+		if err != nil {
+			t.Fatalf("OpenFlatFile (no mmap): %v", err)
+		}
+		sameVecHits(t, "fallback", flat.Search(queries[0], 10), got.Search(queries[0], 10))
+	})
+}
+
+func TestLegacyGobVectorCompat(t *testing.T) {
+	const dim = 8
+	vecs := randomVectors(60, dim, 71)
+	q := randomVectors(1, dim, 72)[0]
+
+	flat := NewFlat(dim, InnerProduct)
+	ivf := NewIVF(dim, InnerProduct, 4, 2, 5)
+	lsh := NewLSH(dim, 8, 2, 5)
+	for i, v := range vecs {
+		id := fmt.Sprintf("v%03d", i)
+		for _, add := range []func(string, embed.Vector) error{flat.Add, ivf.Add, lsh.Add} {
+			if err := add(id, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ivf.Train()
+
+	var buf bytes.Buffer
+	if err := SaveLegacy(flat.Freeze(), &buf); err != nil {
+		t.Fatalf("SaveLegacy(flat): %v", err)
+	}
+	gotFlat, err := LoadFlat(&buf)
+	if err != nil {
+		t.Fatalf("LoadFlat(gob): %v", err)
+	}
+	sameVecHits(t, "flat", flat.Search(q, 5), gotFlat.Search(q, 5))
+
+	buf.Reset()
+	if err := SaveLegacy(ivf.Freeze(), &buf); err != nil {
+		t.Fatalf("SaveLegacy(ivf): %v", err)
+	}
+	gobBytes := append([]byte(nil), buf.Bytes()...)
+	gotIVF, err := LoadIVF(&buf)
+	if err != nil {
+		t.Fatalf("LoadIVF(gob): %v", err)
+	}
+	sameVecHits(t, "ivf", ivf.Search(q, 5), gotIVF.Search(q, 5))
+
+	// The file-open path must sniff gob snapshots too.
+	path := filepath.Join(t.TempDir(), "legacy.idx")
+	if err := os.WriteFile(path, gobBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gotIVF2, err := OpenIVFFile(path)
+	if err != nil {
+		t.Fatalf("OpenIVFFile(gob): %v", err)
+	}
+	sameVecHits(t, "ivf-file", ivf.Search(q, 5), gotIVF2.Search(q, 5))
+
+	buf.Reset()
+	if err := SaveLegacy(lsh.Freeze(), &buf); err != nil {
+		t.Fatalf("SaveLegacy(lsh): %v", err)
+	}
+	gotLSH, err := LoadLSH(&buf)
+	if err != nil {
+		t.Fatalf("LoadLSH(gob): %v", err)
+	}
+	sameVecHits(t, "lsh", lsh.Search(q, 5), gotLSH.Search(q, 5))
+}
+
+// TestVectorSnapshotCorruption flips every byte of a binary snapshot and
+// demands each flip either fails loudly or (padding bytes) changes nothing.
+func TestVectorSnapshotCorruption(t *testing.T) {
+	const dim = 6
+	vecs := randomVectors(20, dim, 81)
+	sq := NewSQFlat(dim, Cosine, 4)
+	for i, v := range vecs {
+		if err := sq.Add(fmt.Sprintf("v%02d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sq.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	q := randomVectors(1, dim, 82)[0]
+	want := sq.Search(q, 5)
+
+	for off := 0; off < len(good); off++ {
+		mut := append([]byte(nil), good...)
+		mut[off] ^= 0xa5
+		loaded, err := LoadSQ(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		sameVecHits(t, fmt.Sprintf("silent flip at %d", off), want, loaded.Search(q, 5))
+	}
+	for _, cut := range []int{0, 3, len(good) / 2, len(good) - 1} {
+		if _, err := LoadSQ(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("truncation to %d bytes loaded", cut)
+		}
+	}
+
+	// Family confusion must be loud: an SQ snapshot is not a flat one.
+	if _, err := LoadFlat(bytes.NewReader(good)); err == nil {
+		t.Error("LoadFlat accepted an sqflat snapshot")
+	}
+}

@@ -1,10 +1,13 @@
 package vecindex
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
 
+	"repro/internal/binfmt"
 	"repro/internal/embed"
 )
 
@@ -15,20 +18,98 @@ import (
 // clone-or-COW half of a two-phase checkpoint: the live index keeps
 // absorbing writes while a frozen capture streams to disk.
 type Frozen interface {
-	// Save serializes the capture to w using encoding/gob.
+	// Save serializes the capture to w in the binfmt columnar layout.
 	Save(w io.Writer) error
 }
 
-// frozenSnap is the one Frozen implementation behind all three families:
-// snap holds a pointer to the concrete snapshot struct (so gob encodes
-// the struct itself, exactly as a direct Encode(&snap) would).
+// frozenSnap is the one Frozen implementation behind all families: snap
+// holds a pointer to the concrete snapshot struct.
 type frozenSnap struct{ snap any }
 
 func (z *frozenSnap) Save(w io.Writer) error {
-	if err := gob.NewEncoder(w).Encode(z.snap); err != nil {
+	bw := binfmt.NewWriter()
+	var err error
+	switch s := z.snap.(type) {
+	case *flatSnapshot:
+		err = encodeFlat(bw, s)
+	case *ivfSnapshot:
+		err = encodeIVF(bw, s)
+	case *lshSnapshot:
+		err = encodeLSH(bw, s)
+	case *sqSnapshot:
+		err = encodeSQ(bw, s)
+	default:
+		err = fmt.Errorf("vecindex: unknown snapshot type %T", z.snap)
+	}
+	if err != nil {
+		return err
+	}
+	if _, err := bw.WriteTo(w); err != nil {
+		return fmt.Errorf("vecindex: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// SaveLegacy serializes a frozen capture to w in the pre-binfmt
+// encoding/gob format, kept for read-compatibility tests and startup-time
+// comparisons. SQFlat captures have no legacy format.
+func SaveLegacy(z Frozen, w io.Writer) error {
+	fs, ok := z.(*frozenSnap)
+	if !ok {
+		return fmt.Errorf("vecindex: unknown Frozen implementation %T", z)
+	}
+	if _, isSQ := fs.snap.(*sqSnapshot); isSQ {
+		return fmt.Errorf("vecindex: SQFlat snapshots have no legacy gob format")
+	}
+	if err := gob.NewEncoder(w).Encode(fs.snap); err != nil {
 		return fmt.Errorf("vecindex: encode snapshot: %w", err)
 	}
 	return nil
+}
+
+// sniffBinary splits an arbitrary snapshot stream by format magic: binfmt
+// containers come back as a verified reader, anything else as a buffered
+// stream for the legacy gob decoders.
+func sniffBinary(r io.Reader) (*binfmt.Reader, io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binfmt.Magic))
+	if err != nil || string(head) != binfmt.Magic {
+		return nil, br, nil
+	}
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("vecindex: read snapshot: %w", err)
+	}
+	fr, err := binfmt.NewReader(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("vecindex: %w", err)
+	}
+	return fr, nil, nil
+}
+
+// openBinaryFile maps path as a binfmt container if its magic matches;
+// otherwise it returns an open file positioned at the start for the gob
+// decoders (the caller closes it).
+func openBinaryFile(path string) (*binfmt.Reader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var head [len(binfmt.Magic)]byte
+	_, rerr := io.ReadFull(f, head[:])
+	if rerr == nil && string(head[:]) == binfmt.Magic {
+		f.Close()
+		fr, err := binfmt.OpenFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("vecindex: %w", err)
+		}
+		return fr, nil, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("vecindex: %w", err)
+	}
+	return nil, f, nil
 }
 
 // flatSnapshot is the serialized form of a Flat index (the analogue of
@@ -61,12 +142,40 @@ func (f *Flat) Freeze() Frozen {
 	return &frozenSnap{snap: &snap}
 }
 
-// Save writes the index to w using encoding/gob (Freeze + Frozen.Save in
-// one call).
+// Save writes the index to w in the binfmt columnar layout (Freeze +
+// Frozen.Save in one call).
 func (f *Flat) Save(w io.Writer) error { return f.Freeze().Save(w) }
 
-// LoadFlat reads a snapshot produced by Flat.Save.
+// LoadFlat reads a snapshot produced by Flat.Save (binfmt, detected by
+// its format magic) or by a pre-binfmt release (gob). Streams read this
+// way are fully buffered; use OpenFlatFile to serve from a mapped file.
 func LoadFlat(r io.Reader) (*Flat, error) {
+	fr, gr, err := sniffBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	if fr != nil {
+		return decodeFlat(fr)
+	}
+	return loadFlatGob(gr)
+}
+
+// OpenFlatFile opens a snapshot file, memory-mapping binfmt snapshots
+// (vectors are served as zero-copy views of the mapping) and decoding
+// legacy gob snapshots eagerly.
+func OpenFlatFile(path string) (*Flat, error) {
+	fr, f, err := openBinaryFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if fr != nil {
+		return decodeFlat(fr)
+	}
+	defer f.Close()
+	return loadFlatGob(bufio.NewReader(f))
+}
+
+func loadFlatGob(r io.Reader) (*Flat, error) {
 	var snap flatSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("vecindex: decode snapshot: %w", err)
@@ -158,13 +267,38 @@ func (ix *IVF) Freeze() Frozen {
 	return &frozenSnap{snap: &snap}
 }
 
-// Save writes the index to w using encoding/gob (Freeze + Frozen.Save in
-// one call). Cell assignments are preserved exactly.
+// Save writes the index to w in the binfmt columnar layout (Freeze +
+// Frozen.Save in one call). Cell assignments are preserved exactly.
 func (ix *IVF) Save(w io.Writer) error { return ix.Freeze().Save(w) }
 
-// LoadIVF reads a snapshot produced by IVF.Save, restoring the trained
-// centroids and exact cell assignments.
+// LoadIVF reads a snapshot produced by IVF.Save (binfmt or legacy gob),
+// restoring the trained centroids and exact cell assignments.
 func LoadIVF(r io.Reader) (*IVF, error) {
+	fr, gr, err := sniffBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	if fr != nil {
+		return decodeIVF(fr)
+	}
+	return loadIVFGob(gr)
+}
+
+// OpenIVFFile opens a snapshot file, memory-mapping binfmt snapshots and
+// decoding legacy gob snapshots eagerly.
+func OpenIVFFile(path string) (*IVF, error) {
+	fr, f, err := openBinaryFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if fr != nil {
+		return decodeIVF(fr)
+	}
+	defer f.Close()
+	return loadIVFGob(bufio.NewReader(f))
+}
+
+func loadIVFGob(r io.Reader) (*IVF, error) {
 	var snap ivfSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("vecindex: decode snapshot: %w", err)
@@ -240,12 +374,65 @@ func (ix *LSH) Freeze() Frozen {
 	return &frozenSnap{snap: &snap}
 }
 
-// Save writes the index to w using encoding/gob (Freeze + Frozen.Save in
-// one call).
+// Save writes the index to w in the binfmt columnar layout (Freeze +
+// Frozen.Save in one call).
 func (ix *LSH) Save(w io.Writer) error { return ix.Freeze().Save(w) }
 
-// LoadLSH reads a snapshot produced by LSH.Save.
+// LoadLSH reads a snapshot produced by LSH.Save (binfmt or legacy gob).
 func LoadLSH(r io.Reader) (*LSH, error) {
+	fr, gr, err := sniffBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	if fr != nil {
+		return decodeLSH(fr)
+	}
+	return loadLSHGob(gr)
+}
+
+// OpenLSHFile opens a snapshot file, memory-mapping binfmt snapshots
+// (vectors are zero-copy views; signatures are re-hashed eagerly) and
+// decoding legacy gob snapshots.
+func OpenLSHFile(path string) (*LSH, error) {
+	fr, f, err := openBinaryFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if fr != nil {
+		return decodeLSH(fr)
+	}
+	defer f.Close()
+	return loadLSHGob(bufio.NewReader(f))
+}
+
+// LoadSQ reads a snapshot produced by SQFlat.Save. There is no legacy
+// format: quantized indexes postdate the binfmt container.
+func LoadSQ(r io.Reader) (*SQFlat, error) {
+	fr, _, err := sniffBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	if fr == nil {
+		return nil, fmt.Errorf("vecindex: not a binfmt snapshot (SQFlat has no legacy format)")
+	}
+	return decodeSQ(fr)
+}
+
+// OpenSQFile opens an SQFlat snapshot file, memory-mapping the container
+// so vectors and code columns are zero-copy views.
+func OpenSQFile(path string) (*SQFlat, error) {
+	fr, f, err := openBinaryFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if fr == nil {
+		f.Close()
+		return nil, fmt.Errorf("vecindex: %s is not a binfmt snapshot (SQFlat has no legacy format)", path)
+	}
+	return decodeSQ(fr)
+}
+
+func loadLSHGob(r io.Reader) (*LSH, error) {
 	var snap lshSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("vecindex: decode snapshot: %w", err)

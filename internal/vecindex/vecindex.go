@@ -73,6 +73,9 @@ type store struct {
 	deleted []bool
 	live    int
 	byID    map[string]int
+	// pin keeps the binfmt container alive when ids/vecs are zero-copy
+	// views into a memory mapping (see binary.go); nil for built indexes.
+	pin any
 }
 
 func newStore() store { return store{byID: make(map[string]int)} }
