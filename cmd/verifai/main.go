@@ -41,7 +41,16 @@
 //	    — and a restart recovers everything. The data dir is flock-owned
 //	    by one process (a second server fails fast). -lake seeds an
 //	    empty data dir; SIGINT/SIGTERM drains connections, checkpoints,
-//	    and closes cleanly.
+//	    and closes cleanly. Durable deployments also serve the change
+//	    feed: GET /v1/changes streams the WAL (cursor-resumable, for
+//	    followers and CDC consumers) and GET /v1/replica/checkpoint
+//	    ships the latest checkpoint for follower bootstrap.
+//	verifai follow -leader URL -data-dir DIR [-addr :8081] [...]
+//	    run a read-only replica of the leader at URL: bootstrap from its
+//	    checkpoint, stream its change feed, serve the same read API
+//	    (verify with ?min_version= for read-your-writes, stats with a
+//	    replication section, its own change feed); ingest endpoints
+//	    answer 421 Misdirected Request naming the leader
 //
 // The lake directory is produced by cmd/lakegen (or any tool writing the
 // lakeio layout). Add -exact=false to enable the calibrated error profiles
@@ -86,6 +95,8 @@ func main() {
 		err = runDemo(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "follow":
+		err = runFollow(os.Args[2:])
 	default:
 		usage()
 	}
@@ -95,7 +106,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: verifai <stats|claim|tuple|demo|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: verifai <stats|claim|tuple|demo|serve|follow> [flags]")
 	os.Exit(2)
 }
 
@@ -365,6 +376,13 @@ func runServe(args []string) error {
 			func() verifai.DurabilityStats { st, _ := sys.Durability(); return st },
 			sys.Checkpoint,
 		))
+		// The WAL doubles as the change feed: followers and CDC consumers
+		// stream GET /v1/changes, bootstrapping from /v1/replica/checkpoint.
+		if wlog, floor, ckpt, ok := sys.ChangeFeed(); ok {
+			serverOpts = append(serverOpts, server.WithChangeFeed(server.ChangeFeedConfig{
+				Log: wlog, Floor: floor, CheckpointTar: ckpt,
+			}))
+		}
 	} else {
 		var err error
 		sys, _, err = buildSystem(*lakeDir, *seed, *exact, tune, *ingestQueue)
@@ -373,11 +391,25 @@ func runServe(args []string) error {
 		}
 	}
 
-	lake := sys.Pipeline().Lake()
-	stats := lake.Stats()
+	stats := sys.Pipeline().Lake().Stats()
 	fmt.Printf("serving %d tables / %d texts (lake version %d) on %s\n",
 		stats.Tables, stats.Docs, sys.LakeVersion(), *addr)
+	return serveLoop(sys, *addr, serverOpts, listenerTimeouts{
+		read: *readTimeout, readHeader: *readHeaderTimeout, idle: *idleTimeout,
+	}, *checkpointEvery, *dataDir != "")
+}
 
+// listenerTimeouts carries the http.Server timeout knobs shared by serve
+// and follow.
+type listenerTimeouts struct {
+	read, readHeader, idle time.Duration
+}
+
+// serveLoop runs the HTTP server over an assembled system until
+// SIGINT/SIGTERM, then drains connections, takes a final checkpoint
+// (durable mode), and closes the system — the lifecycle shared by the
+// serve (leader / standalone) and follow (replica) subcommands.
+func serveLoop(sys *verifai.System, addr string, serverOpts []server.Option, lt listenerTimeouts, checkpointEvery time.Duration, durable bool) error {
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
 	// drain in-flight requests, take a final checkpoint (durable mode),
 	// and close the system so no accepted write is lost.
@@ -388,18 +420,19 @@ func runServe(args []string) error {
 	// or a connection that simply never sends anything — holds a
 	// goroutine+FD forever. WriteTimeout stays 0: verification responses
 	// are bounded by -verify-timeout, which cancels the work itself instead
-	// of silently snapping the connection under it.
+	// of silently snapping the connection under it — and the change feed is
+	// a deliberately long-lived streaming response.
 	srv := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           server.New(sys.Pipeline(), serverOpts...),
-		ReadTimeout:       *readTimeout,
-		ReadHeaderTimeout: *readHeaderTimeout,
-		IdleTimeout:       *idleTimeout,
+		ReadTimeout:       lt.read,
+		ReadHeaderTimeout: lt.readHeader,
+		IdleTimeout:       lt.idle,
 	}
 
-	if *dataDir != "" && *checkpointEvery > 0 {
+	if durable && checkpointEvery > 0 {
 		go func() {
-			t := time.NewTicker(*checkpointEvery)
+			t := time.NewTicker(checkpointEvery)
 			defer t.Stop()
 			for {
 				select {
@@ -440,7 +473,7 @@ func runServe(args []string) error {
 	if serr := <-shutdownErr; serr != nil {
 		log.Printf("shutdown: %v", serr)
 	}
-	if *dataDir != "" {
+	if durable {
 		switch v, cerr := sys.Checkpoint(); {
 		case errors.Is(cerr, verifai.ErrCheckpointInFlight):
 			// Close waits the running checkpoint out before releasing the
@@ -453,6 +486,75 @@ func runServe(args []string) error {
 		}
 	}
 	return sys.Close()
+}
+
+// runFollow runs a read-only replica: it bootstraps -data-dir from the
+// leader's checkpoint (when empty), streams the leader's change feed,
+// and serves the same read API — verify, stats, and its own change feed —
+// while ingest endpoints answer 421 pointing at the leader.
+func runFollow(args []string) error {
+	fs := flag.NewFlagSet("follow", flag.ExitOnError)
+	leader := fs.String("leader", "", "leader base URL, e.g. http://leader:8080 (required)")
+	dataDir := fs.String("data-dir", "", "follower data directory (WAL + checkpoints; required)")
+	addr := fs.String("addr", ":8081", "listen address")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	exact := fs.Bool("exact", true, "exact reasoning (no calibrated error injection)")
+	shards := fs.Int("shards", 0, "index shards per kind and family (0 = unsharded)")
+	quantize := fs.Bool("quantize", false, "int8 scalar-quantize flat vector shards")
+	rerankMultiple := fs.Int("rerank-multiple", 0, "quantized re-rank candidate multiple (0 = default 4)")
+	ingestQueue := fs.Int("ingest-queue", 0, "bound on the in-flight ingest event queue (0 = default 256)")
+	verifyConcurrency := fs.Int("verify-concurrency", 0, "max concurrently admitted verify requests (0 = 4x GOMAXPROCS, <0 = unlimited)")
+	verifyTimeout := fs.Duration("verify-timeout", 30*time.Second, "per-request verification deadline (0 = client-bounded only)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max duration for reading an entire request (0 = unlimited)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "max duration for reading request headers (0 = falls back to -read-timeout)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time between requests (0 = falls back to -read-timeout)")
+	fsync := fs.String("fsync", "interval", "WAL sync policy: always|interval|none")
+	checkpointEvery := fs.Duration("checkpoint-every", 0, "periodic checkpoint cadence; bounds the follower's own recovery time (0 = only at shutdown)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *leader == "" || *dataDir == "" {
+		return fmt.Errorf("-leader and -data-dir are required")
+	}
+
+	opts := verifai.DefaultOptions(*seed)
+	if *exact {
+		opts = verifai.ExactOptions(*seed)
+	}
+	indexTuning{shards: *shards, quantize: *quantize, rerankMultiple: *rerankMultiple}.apply(&opts)
+	openOpts := verifai.OpenOptions{Options: opts, Sync: *fsync}
+	if *ingestQueue > 0 {
+		openOpts.LakeOptions = append(openOpts.LakeOptions, verifai.WithIngestQueue(*ingestQueue))
+	}
+	sys, err := verifai.OpenFollower(*dataDir, *leader, openOpts)
+	if err != nil {
+		return err
+	}
+
+	serverOpts := []server.Option{
+		server.WithVerifyTimeout(*verifyTimeout),
+		server.WithFollower(*leader),
+		server.WithDurability(
+			func() verifai.DurabilityStats { st, _ := sys.Durability(); return st },
+			sys.Checkpoint,
+		),
+		server.WithReplication(func() any { st, _ := sys.Replication(); return st }),
+	}
+	if *verifyConcurrency != 0 {
+		serverOpts = append(serverOpts, server.WithVerifyConcurrency(*verifyConcurrency))
+	}
+	// A follower re-serves its own change feed (its WAL mirrors the
+	// leader's), so replicas can chain and CDC consumers can read replicas.
+	if wlog, floor, ckpt, ok := sys.ChangeFeed(); ok {
+		serverOpts = append(serverOpts, server.WithChangeFeed(server.ChangeFeedConfig{
+			Log: wlog, Floor: floor, CheckpointTar: ckpt,
+		}))
+	}
+
+	fmt.Printf("following %s (lake version %d) on %s\n", *leader, sys.LakeVersion(), *addr)
+	return serveLoop(sys, *addr, serverOpts, listenerTimeouts{
+		read: *readTimeout, readHeader: *readHeaderTimeout, idle: *idleTimeout,
+	}, *checkpointEvery, true)
 }
 
 // openDurable opens (or creates) the durable system under dataDir,

@@ -1,0 +1,213 @@
+package verifai
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/cdc"
+	"repro/internal/datalake"
+	"repro/internal/durable"
+	"repro/internal/wal"
+)
+
+// This file is the follower role: a read-only replica of a leader system,
+// bootstrapped from the leader's checkpoint and kept fresh by streaming
+// the leader's WAL over the change feed (GET /v1/changes).
+
+// ErrReadOnlyFollower reports a local write attempted on a follower
+// system; detect it with errors.Is and send the write to the leader.
+var ErrReadOnlyFollower = datalake.ErrReadOnly
+
+// ReplicationStats describes a follower's replication posture for
+// monitoring (the "replication" section of GET /v1/stats).
+type ReplicationStats struct {
+	// Leader is the URL this follower streams from.
+	Leader string `json:"leader"`
+	// LocalVersion is the highest lake version applied locally.
+	LocalVersion uint64 `json:"local_version"`
+	// LeaderVersion is the leader's version as of the last heartbeat (at
+	// least LocalVersion; the gap is the replication lag in versions).
+	LeaderVersion uint64 `json:"leader_version"`
+	// AppliedRecords counts change-stream records applied since open.
+	AppliedRecords uint64 `json:"applied_records"`
+	// Running reports whether the streaming loop is still live; when false,
+	// LastError says why it stopped.
+	Running   bool   `json:"running"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// follower is the streaming loop attached to a follower System.
+type follower struct {
+	leader string
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu            sync.Mutex
+	applied       uint64
+	leaderVersion uint64
+	lastErr       error
+}
+
+// OpenFollower opens dir as a read-only replica of the leader at the given
+// base URL (e.g. "http://leader:8080"):
+//
+//  1. an empty directory bootstraps from GET /v1/replica/checkpoint — the
+//     leader's latest checkpoint tar, restored atomically (a leader that
+//     has never checkpointed means streaming from version 0 instead);
+//  2. the directory then opens exactly as Open does (checkpoint + local
+//     WAL replay), recovering the follower's replication cursor from its
+//     own durable state;
+//  3. the lake is marked read-only — local writes fail with the lake's
+//     read-only error; mutations arrive only via replication — and a
+//     background loop streams GET /v1/changes?from=<cursor>, applying
+//     records through the same path crash recovery uses and logging them
+//     to the follower's own WAL (a killed follower resumes from its local
+//     cursor, not from zero);
+//  4. verification, retrieval, and stats serve normally throughout, with
+//     System.Replication reporting lag.
+//
+// Close stops the stream before shutting the pipeline down. The follower
+// may checkpoint (bounding its own recovery time) and re-serve the change
+// feed, chaining replication.
+func OpenFollower(dir, leader string, opts OpenOptions) (*System, error) {
+	client := &http.Client{} // no global timeout: the change feed is long-lived
+	has, err := durable.HasCheckpoint(dir)
+	if err != nil {
+		return nil, fmt.Errorf("verifai: follower bootstrap: %w", err)
+	}
+	if !has {
+		rc, err := cdc.FetchCheckpoint(context.Background(), client, leader)
+		switch {
+		case errors.Is(err, cdc.ErrNoCheckpoint):
+			// Leader has never checkpointed: its WAL still holds everything,
+			// so an empty follower streaming from 0 converges.
+		case err != nil:
+			return nil, fmt.Errorf("verifai: follower bootstrap: %w", err)
+		default:
+			restoreErr := durable.RestoreCheckpointTar(dir, rc)
+			rc.Close()
+			if restoreErr != nil {
+				return nil, fmt.Errorf("verifai: follower bootstrap: %w", restoreErr)
+			}
+		}
+	}
+
+	policy, err := wal.ParseSyncPolicy(opts.Sync)
+	if err != nil {
+		return nil, fmt.Errorf("verifai: %w", err)
+	}
+	lakeOpts := make([]LakeOption, len(opts.LakeOptions))
+	copy(lakeOpts, opts.LakeOptions)
+	st, err := durable.Open(dir, durable.Options{
+		Sync: policy, SyncInterval: opts.SyncInterval, SegmentBytes: opts.SegmentBytes,
+		LakeOptions: lakeOpts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("verifai: %w", err)
+	}
+	// Read-only before anything else can write: replication is the only
+	// mutation path from here on (ReplayTail applies through it too).
+	st.Lake().SetReadOnly(true)
+	sys, err := newSystem(st.Lake(), opts.Options, st.IndexSnapshotDir())
+	if err != nil {
+		_ = st.Lake().Close()
+		_ = st.Close()
+		return nil, err
+	}
+	if err := st.ReplayTail(); err != nil {
+		sys.pipeline.Indexer().Close()
+		_ = st.Lake().Close()
+		_ = st.Close()
+		return nil, fmt.Errorf("verifai: %w", err)
+	}
+	st.Arm()
+	sys.durable = st
+
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &follower{leader: leader, cancel: cancel, done: make(chan struct{})}
+	sys.follower = f
+	go f.run(ctx, client, st)
+	return sys, nil
+}
+
+// run streams the leader's change feed until ctx is canceled or the stream
+// fails fatally (apply error, cursor fallen below the leader's floor).
+func (f *follower) run(ctx context.Context, client *http.Client, st *durable.Store) {
+	defer close(f.done)
+	err := cdc.Follow(ctx, cdc.FollowOptions{
+		Leader: f.leader,
+		Client: client,
+		From:   st.Lake().CommittedVersion,
+		Apply: func(recs []wal.Record) error {
+			n, err := st.ApplyReplicated(recs)
+			f.mu.Lock()
+			f.applied += uint64(n)
+			f.mu.Unlock()
+			return err
+		},
+		OnHeartbeat: func(v uint64) {
+			f.mu.Lock()
+			if v > f.leaderVersion {
+				f.leaderVersion = v
+			}
+			f.mu.Unlock()
+		},
+	})
+	if err != nil && ctx.Err() == nil {
+		f.mu.Lock()
+		f.lastErr = err
+		f.mu.Unlock()
+	}
+}
+
+// stop cancels the streaming loop and waits for it to exit.
+func (f *follower) stop() {
+	f.cancel()
+	<-f.done
+}
+
+// Replication reports the follower's streaming posture; ok is false for
+// systems that are not followers.
+func (s *System) Replication() (ReplicationStats, bool) {
+	f := s.follower
+	if f == nil {
+		return ReplicationStats{}, false
+	}
+	local := s.pipeline.Lake().CommittedVersion()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	stats := ReplicationStats{
+		Leader:         f.leader,
+		LocalVersion:   local,
+		LeaderVersion:  f.leaderVersion,
+		AppliedRecords: f.applied,
+	}
+	if stats.LeaderVersion < local {
+		stats.LeaderVersion = local // heartbeats lag applied records
+	}
+	select {
+	case <-f.done:
+		if f.lastErr != nil {
+			stats.LastError = f.lastErr.Error()
+		}
+	default:
+		stats.Running = true
+	}
+	return stats, true
+}
+
+// ChangeFeed exposes the durable store's replication surfaces in the shape
+// server.WithChangeFeed wants: the WAL for tail-serving, the checkpoint
+// version as the feed floor, and the checkpoint-tar writer for follower
+// bootstrap. ok is false for in-memory systems (NewSystem), which have no
+// WAL to serve.
+func (s *System) ChangeFeed() (log *wal.Log, floor func() uint64, checkpointTar func(io.Writer) error, ok bool) {
+	if s.durable == nil {
+		return nil, nil, nil, false
+	}
+	return s.durable.WAL(), s.durable.CheckpointVersion, s.durable.WriteCheckpointTar, true
+}

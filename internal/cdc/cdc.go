@@ -1,0 +1,47 @@
+// Package cdc implements the change-data-capture stream shared by
+// follower replication and external subscribers: the wire protocol (the
+// WAL's CRC'd frame format, or Server-Sent Events for browser-class
+// consumers), an incremental stream decoder, and the follower client that
+// tails a leader and applies the stream.
+//
+// Cursor contract: a consumer's cursor is the highest event version it has
+// applied after consuming the stream in order (0 for a fresh consumer, or
+// the checkpoint version it bootstrapped from). The leader serves
+// `GET /v1/changes?from=<cursor>`; a cursor below the leader's floor (its
+// checkpoint version — older WAL segments are truncated) is answered with
+// 410 Gone, which the client surfaces as ErrSnapshotRequired: re-bootstrap
+// from `GET /v1/replica/checkpoint` and resume from the new checkpoint's
+// version. Streams may overlap on resume (the leader re-serves from the
+// cursor's segment); appliers must treat versions at or below their cursor
+// as already applied.
+package cdc
+
+import "errors"
+
+const (
+	// ChangesPath is the leader's change-feed endpoint.
+	ChangesPath = "/v1/changes"
+	// CheckpointPath is the leader's checkpoint-shipping endpoint (tar of
+	// the latest checkpoint directory), for follower bootstrap.
+	CheckpointPath = "/v1/replica/checkpoint"
+
+	// KindHeartbeat marks a liveness frame in the change stream: Version
+	// carries the leader's published version and there is no payload. It is
+	// a stream-level record, not a lake mutation — appliers must skip it
+	// (the Follow client filters it out before Apply).
+	KindHeartbeat = "heartbeat"
+
+	// ContentTypeFrames identifies the binary stream: consecutive WAL
+	// frames (4B LE length + 4B LE CRC-32C + JSON payload).
+	ContentTypeFrames = "application/x-verifai-frames"
+	// ContentTypeSSE identifies the Server-Sent Events rendering.
+	ContentTypeSSE = "text/event-stream"
+)
+
+// ErrSnapshotRequired reports a cursor below the leader's floor: the WAL
+// no longer holds those records. Re-bootstrap from the leader's checkpoint.
+var ErrSnapshotRequired = errors.New("cdc: cursor below leader floor; bootstrap from checkpoint required")
+
+// ErrNoCheckpoint reports that the leader has not checkpointed yet; a
+// bootstrapping follower should stream from version 0 instead.
+var ErrNoCheckpoint = errors.New("cdc: leader has no checkpoint yet")

@@ -1,0 +1,93 @@
+package cdc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/wal"
+)
+
+// maxSSELineBytes bounds one SSE line; the payload inside is a WAL record,
+// so the WAL's own payload bound is the natural limit.
+const maxSSELineBytes = wal.MaxRecordSize + 16
+
+// EncodeSSE writes rec as one Server-Sent Event: `id` carries the version
+// (so EventSource reconnection semantics line up with the cursor), `event`
+// the record kind, and `data` the record's JSON. The JSON payload is the
+// authoritative content; id/event are conveniences for generic SSE tooling.
+func EncodeSSE(w io.Writer, rec wal.Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("cdc: encode sse record: %w", err)
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", rec.Version, rec.Kind, payload)
+	return err
+}
+
+// SSEDecoder incrementally parses an SSE stream back into records. Per the
+// SSE spec, comment lines (leading ':') and unknown fields are ignored and
+// multi-line data fields are joined with newlines. A data payload that is
+// not a valid record JSON is corruption (fatal); a stream ending mid-event
+// is torn (io.ErrUnexpectedEOF); a stream ending between events is a clean
+// io.EOF.
+type SSEDecoder struct {
+	sc *bufio.Scanner
+}
+
+// NewSSEDecoder returns a decoder reading events from r.
+func NewSSEDecoder(r io.Reader) *SSEDecoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxSSELineBytes)
+	return &SSEDecoder{sc: sc}
+}
+
+// Next returns the next record in the stream.
+func (d *SSEDecoder) Next() (wal.Record, error) {
+	var data []byte
+	inEvent := false
+	for d.sc.Scan() {
+		line := d.sc.Text()
+		if line == "" {
+			if !inEvent {
+				continue // stray blank line between events
+			}
+			if data == nil {
+				// An event with only id/event/comment lines carries nothing
+				// to apply; skip it and keep scanning.
+				inEvent = false
+				continue
+			}
+			var rec wal.Record
+			if err := json.Unmarshal(data, &rec); err != nil {
+				return wal.Record{}, fmt.Errorf("cdc: sse data is not a record: %w", err)
+			}
+			return rec, nil
+		}
+		inEvent = true
+		if strings.HasPrefix(line, ":") {
+			continue // comment (heartbeat padding etc.)
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "data":
+			if data != nil {
+				data = append(data, '\n')
+			}
+			data = append(data, value...)
+		default:
+			// id/event/retry and unknown fields: informational only — the
+			// record JSON in data is authoritative.
+		}
+	}
+	if err := d.sc.Err(); err != nil {
+		return wal.Record{}, err
+	}
+	if inEvent {
+		return wal.Record{}, io.ErrUnexpectedEOF
+	}
+	return wal.Record{}, io.EOF
+}

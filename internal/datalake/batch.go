@@ -35,9 +35,18 @@ type BatchItemResult struct {
 //
 // Item failures are independent: a duplicate or malformed item is reported
 // in its BatchItemResult without affecting the rest of the batch. The call
-// returns after every committed item has been applied (indexed); the only
-// batch-level error is ErrClosed.
+// returns after every committed item has been applied (indexed); the
+// batch-level errors are ErrClosed and, on a follower, ErrReadOnly.
 func (l *Lake) AddBatch(items []BatchItem) ([]BatchItemResult, error) {
+	return l.addBatch(items, false)
+}
+
+// addBatch is the shared implementation behind AddBatch (local writes) and
+// ReplicateBatch (the replication apply path, which bypasses the follower's
+// read-only gate but is otherwise the identical pipeline — replicated
+// events prepare, commit, and apply exactly like local ingests, so index
+// maintenance and cache watermarks behave identically on both roles).
+func (l *Lake) addBatch(items []BatchItem, replica bool) ([]BatchItemResult, error) {
 	results := make([]BatchItemResult, len(items))
 	if len(items) == 0 {
 		return results, nil
@@ -112,6 +121,10 @@ func (l *Lake) AddBatch(items []BatchItem) ([]BatchItemResult, error) {
 	if l.closed {
 		l.writeMu.Unlock()
 		return results, ErrClosed
+	}
+	if l.readOnly && !replica {
+		l.writeMu.Unlock()
+		return results, ErrReadOnly
 	}
 	committed := make([]uint64, len(items))
 	staged := make([]int, 0, len(items))

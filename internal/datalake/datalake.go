@@ -240,8 +240,9 @@ type Lake struct {
 	// writeMu serializes the commit stage (catalog mutation + version
 	// assignment + enqueue). It is intentionally narrow: no subscriber
 	// code and no derivation work runs under it. Always acquired before mu.
-	writeMu sync.Mutex
-	closed  bool // guarded by writeMu
+	writeMu  sync.Mutex
+	closed   bool // guarded by writeMu
+	readOnly bool // follower mode: local writes rejected, guarded by writeMu
 	// commitHook / sourceHook are the durability hooks (guarded by
 	// writeMu). The commit hook runs under writeMu but outside mu, so a
 	// slow fsync stalls writers, never readers.
@@ -337,11 +338,21 @@ func New(opts ...Option) *Lake {
 // hook always succeed. Registered source observers (OnSourceChange) run
 // before the call returns.
 func (l *Lake) AddSource(s Source) error {
+	return l.addSource(s, false)
+}
+
+// addSource is the shared implementation behind AddSource (local writes,
+// rejected on a read-only follower) and ReplicateSource (the replication
+// apply path, which bypasses the read-only gate).
+func (l *Lake) addSource(s Source, replica bool) error {
 	if s.TrustPrior == 0 {
 		s.TrustPrior = 0.5
 	}
 	l.writeMu.Lock()
 	defer l.writeMu.Unlock()
+	if l.readOnly && !replica {
+		return ErrReadOnly
+	}
 	if l.sourceHook != nil {
 		if err := l.sourceHook(s); err != nil {
 			return err
@@ -871,6 +882,12 @@ func (l *Lake) commit(payloads map[int]any, ev Event) (uint64, error) {
 	if l.closed {
 		l.writeMu.Unlock()
 		return 0, ErrClosed
+	}
+	if l.readOnly {
+		// Single-item ingest is always a local write: the replication apply
+		// path batches through ReplicateBatch.
+		l.writeMu.Unlock()
+		return 0, ErrReadOnly
 	}
 	l.mu.RLock()
 	err := l.stageLocked(&ev, l.version+1, newStaging())

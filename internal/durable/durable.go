@@ -132,6 +132,12 @@ type Store struct {
 	log  *wal.Log
 	lock *dirLock
 
+	// swapMu orders checkpoint promotion (swapCheckpoint, exclusive)
+	// against checkpoint-tar streaming for follower bootstrap (shared): a
+	// swap completing mid-stream must not rename the directory out from
+	// under the tar walk.
+	swapMu sync.RWMutex
+
 	mu             sync.Mutex
 	ckptVersion    uint64
 	lastCheckpoint time.Time
@@ -262,12 +268,13 @@ func (s *Store) resolveCheckpoint() (*checkpointMeta, error) {
 
 // ReplayTail streams the WAL tail — every record past the checkpoint,
 // plus source registrations, which replay unconditionally because
-// re-registering is an idempotent overwrite — through the lake's normal
-// write path: AddBatch for event records in bounded batches (so any
-// subscribed indexer maintains itself through the same code as live
+// re-registering is an idempotent overwrite — through the lake's
+// replication write path (the normal pipeline, minus the follower
+// read-only gate): ReplicateBatch for event records in bounded batches (so
+// any subscribed indexer maintains itself through the same code as live
 // ingestion, and replay memory stays bounded no matter how long the tail
-// is), AddSource for source records at their position in WAL order. Every
-// replayed mutation is verified to recommit as its original version.
+// is), ReplicateSource for source records at their position in WAL order.
+// Every replayed mutation is verified to recommit as its original version.
 func (s *Store) ReplayTail() error {
 	s.mu.Lock()
 	ckptVersion := s.ckptVersion
@@ -279,21 +286,8 @@ func (s *Store) ReplayTail() error {
 		if len(pending) == 0 {
 			return nil
 		}
-		items := make([]datalake.BatchItem, len(pending))
-		for i, rec := range pending {
-			items[i] = datalake.BatchItem{Table: rec.Table, Doc: rec.Doc, Triple: rec.Triple}
-		}
-		results, err := s.lake.AddBatch(items)
-		if err != nil {
-			return fmt.Errorf("durable: replay batch: %w", err)
-		}
-		for i, res := range results {
-			if res.Err != nil {
-				return fmt.Errorf("durable: replay record (version %d): %w", pending[i].Version, res.Err)
-			}
-			if res.Version != pending[i].Version {
-				return fmt.Errorf("durable: replay drift: record logged as version %d recommitted as %d", pending[i].Version, res.Version)
-			}
+		if err := s.replicateEvents(pending, "replay"); err != nil {
+			return err
 		}
 		pending = pending[:0]
 		return nil
@@ -310,7 +304,7 @@ func (s *Store) ReplayTail() error {
 			if rec.Source == nil {
 				return fmt.Errorf("durable: source record without source payload")
 			}
-			if err := s.lake.AddSource(*rec.Source); err != nil {
+			if err := s.lake.ReplicateSource(*rec.Source); err != nil {
 				return fmt.Errorf("durable: replay source %q: %w", rec.Source.ID, err)
 			}
 			return nil
@@ -456,7 +450,10 @@ func (s *Store) Checkpoint(freeze FreezeFunc) (uint64, error) {
 	if err := syncTree(s.fs, tmp); err != nil {
 		return 0, fmt.Errorf("durable: sync checkpoint tree: %w", err)
 	}
-	if err := s.swapCheckpoint(tmp); err != nil {
+	s.swapMu.Lock()
+	err = s.swapCheckpoint(tmp)
+	s.swapMu.Unlock()
+	if err != nil {
 		return 0, err
 	}
 	if err := syncDir(s.fs, s.dir); err != nil {

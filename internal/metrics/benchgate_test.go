@@ -91,6 +91,34 @@ func TestCompareBenchDirections(t *testing.T) {
 	}
 }
 
+// TestCompareBenchLagNeverGated checks replication-lag metrics are recorded
+// but excluded from gating — even a lag unit that would otherwise match a
+// gated class (a "/sec" suffix, say) stays exempt.
+func TestCompareBenchLagNeverGated(t *testing.T) {
+	baseline := []BenchSample{{
+		Name: "BenchmarkReplicationLag/followers=1",
+		Metrics: map[string]float64{
+			"docs/sec": 1000, "lag-p50-ns": 1000, "lag-p99-ns": 2000, "lag-flushes/sec": 100,
+		},
+	}}
+	// Lag metrics blow out by 10x; throughput holds. Nothing regresses.
+	current := []BenchSample{{
+		Name: "BenchmarkReplicationLag/followers=1",
+		Metrics: map[string]float64{
+			"docs/sec": 1000, "lag-p50-ns": 10000, "lag-p99-ns": 20000, "lag-flushes/sec": 1,
+		},
+	}}
+	if regs := CompareBench(baseline, current, 0.25); len(regs) != 0 {
+		t.Fatalf("lag metrics gated: %v", regs)
+	}
+	// The throughput unit on the same benchmark still gates.
+	current[0].Metrics["docs/sec"] = 500
+	regs := CompareBench(baseline, current, 0.25)
+	if len(regs) != 1 || regs[0].Unit != "docs/sec" {
+		t.Fatalf("regressions = %v, want exactly the docs/sec drop", regs)
+	}
+}
+
 func TestRatioCheck(t *testing.T) {
 	samples := []BenchSample{
 		{Name: "BenchmarkIngestThroughput/pipelined/writers=4", Metrics: map[string]float64{"docs/sec": 3000}},

@@ -12,6 +12,12 @@
 //	                          deployments, 409 when one is already running);
 //	                          non-blocking: ingestion stalls only for the
 //	                          short fork phase, not the snapshot write
+//	GET  /v1/changes          cursor-resumable change feed (CDC + follower
+//	                          replication): ?from=N resumes, binary WAL
+//	                          frames by default, ?format=sse for SSE,
+//	                          410 below the checkpoint floor
+//	GET  /v1/replica/checkpoint  latest checkpoint as a tar for follower
+//	                          bootstrap (404 before the first checkpoint)
 //	GET  /v1/lake/version     current monotonic lake version
 //	GET  /v1/stats            lake statistics (+ durability posture when durable)
 //	GET  /v1/provenance?seq=N one lineage record
@@ -34,6 +40,12 @@
 // many claims. Each admitted verification runs under the request's context
 // (plus an optional server-side deadline), so a disconnected client stops
 // burning CPU mid-flight.
+//
+// Replication-aware serving: the verify endpoints accept ?min_version=N —
+// a read-your-writes token carrying an earlier ingest's acknowledged
+// version — and wait for the node to apply N before verifying (504 when it
+// cannot catch up in time; see changes.go). On a follower (WithFollower)
+// the ingest endpoints answer 421 Misdirected Request naming the leader.
 package server
 
 import (
@@ -48,6 +60,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cdc"
 	"repro/internal/claims"
 	"repro/internal/core"
 	"repro/internal/datalake"
@@ -86,6 +99,15 @@ type Server struct {
 	verifyLimit   int
 	verifyTimeout time.Duration
 	rejected      atomic.Uint64
+
+	// changeFeed is set by WithChangeFeed and backs GET /v1/changes and
+	// GET /v1/replica/checkpoint; nil on deployments without a WAL.
+	changeFeed *ChangeFeedConfig
+	// leaderURL is set by WithFollower: non-empty marks this server a
+	// read-only replica, and ingest endpoints answer 421 pointing here.
+	leaderURL string
+	// replStats is set by WithReplication and feeds GET /v1/stats.
+	replStats func() any
 }
 
 // Option configures a Server.
@@ -132,6 +154,8 @@ func New(p *core.Pipeline, opts ...Option) *Server {
 	s.mux.HandleFunc("/v1/ingest/triple", s.handleIngestTriple)
 	s.mux.HandleFunc("/v1/ingest/batch", s.handleIngestBatch)
 	s.mux.HandleFunc("/v1/admin/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc(cdc.ChangesPath, s.handleChanges)
+	s.mux.HandleFunc(cdc.CheckpointPath, s.handleReplicaCheckpoint)
 	s.mux.HandleFunc("/v1/lake/version", s.handleLakeVersion)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/provenance", s.handleProvenance)
@@ -378,6 +402,11 @@ func (s *Server) handleVerifyClaim(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err.status, "%v", err)
 		return
 	}
+	// Freshness barrier before admission: a waiting request must not hold a
+	// verify slot.
+	if !s.waitMinVersion(w, r) {
+		return
+	}
 	release, ok := s.admit(w)
 	if !ok {
 		return
@@ -405,6 +434,9 @@ func (s *Server) handleVerifyTuple(w http.ResponseWriter, r *http.Request) {
 	g, kinds, err := buildTupleObject(req)
 	if err != nil {
 		writeError(w, err.status, "%v", err)
+		return
+	}
+	if !s.waitMinVersion(w, r) {
 		return
 	}
 	release, ok := s.admit(w)
@@ -571,6 +603,9 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if !s.waitMinVersion(w, r) {
+		return
+	}
 	release, ok := s.admit(w)
 	if !ok {
 		return
@@ -678,6 +713,9 @@ func (s *Server) handleIngestTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	var req IngestTableRequest
 	if !decodeStrict(w, r, maxBodyBytes, &req) {
 		return
@@ -694,6 +732,9 @@ func (s *Server) handleIngestTable(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleIngestDocument(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.rejectFollowerWrite(w) {
 		return
 	}
 	var req IngestDocumentRequest
@@ -714,6 +755,9 @@ func (s *Server) handleIngestTriple(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	var req IngestTripleRequest
 	if !decodeStrict(w, r, maxBodyBytes, &req) {
 		return
@@ -730,6 +774,9 @@ func (s *Server) handleIngestTriple(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.rejectFollowerWrite(w) {
 		return
 	}
 	var req IngestBatchRequest
@@ -891,6 +938,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.durStats != nil {
 		body["durability"] = s.durStats()
+	}
+	if s.replStats != nil {
+		body["replication"] = s.replStats()
 	}
 	writeJSON(w, http.StatusOK, body)
 }

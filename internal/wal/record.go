@@ -57,11 +57,20 @@ func FromEvent(ev datalake.Event) (Record, error) {
 // frame is detected by the length outrunning the remaining bytes.
 const frameHeaderSize = 8
 
+// FrameHeaderSize is the fixed frame prefix: 4-byte little-endian payload
+// length + 4-byte little-endian CRC-32C. Exported for stream consumers
+// (the CDC change feed frames its wire protocol with the same codec).
+const FrameHeaderSize = frameHeaderSize
+
 // maxRecordSize bounds one record's payload. A frame header is written
 // atomically ahead of its payload, so a length beyond this bound can only
 // come from corruption, never from a torn append — replay fails loudly on
 // it instead of attempting a giant allocation.
 const maxRecordSize = 1 << 30
+
+// MaxRecordSize is the payload bound, exported so stream decoders can
+// reject corrupt lengths before allocating.
+const MaxRecordSize = maxRecordSize
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
