@@ -29,6 +29,7 @@ import (
 	"repro/internal/embed"
 	"repro/internal/experiments"
 	"repro/internal/invindex"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/table"
 	"repro/internal/textutil"
@@ -610,6 +611,50 @@ func BenchmarkIngestThroughput(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkObsOverhead measures what the observability layer costs on the
+// ingest hot path: the same pipelined document ingest, bare vs with every
+// lake and indexer metric armed (prepare/commit/apply histograms, queue
+// gauge, per-family shard-search timers). The two docs/sec figures feed
+// benchgate's -obs-floor ratio check — instrumented throughput must stay
+// within a few percent of bare on the same machine in the same run.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, mode := range []string{"bare", "instrumented"} {
+		b.Run(mode, func(b *testing.B) {
+			lake := datalake.New()
+			icfg := core.DefaultIndexerConfig(1)
+			icfg.Shards = 4
+			icfg.QueryCacheSize = 0
+			ix, err := core.BuildIndexer(lake, icfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ix.Close()
+			defer lake.Close()
+			if mode == "instrumented" {
+				reg := obs.NewRegistry()
+				lake.SetMetrics(reg)
+				ix.SetMetrics(reg)
+			}
+
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if err := lake.AddDocument(benchDoc(benchDocSeq.Add(1))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := lake.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "docs/sec")
+			}
+		})
 	}
 }
 

@@ -32,6 +32,8 @@ func main() {
 	filter := flag.String("filter", "", "regexp limiting which benchmarks are gated (default: all)")
 	pipelineFloor := flag.Float64("pipeline-floor", 0,
 		"if > 0, require pipelined ingest docs/sec >= floor * serialized docs/sec within the current run (machine-independent; 0 disables)")
+	obsFloor := flag.Float64("obs-floor", 0,
+		"if > 0, require instrumented ingest docs/sec >= floor * bare docs/sec within the current run (observability overhead budget; 0 disables)")
 	flag.Parse()
 
 	baseline := parse(*baselinePath)
@@ -57,6 +59,21 @@ func main() {
 			} else {
 				fmt.Printf("benchgate: pipelined/serialized docs/sec at %s writer(s) = %.2f (floor %.2f)\n",
 					writers, ratio, *pipelineFloor)
+			}
+		}
+	}
+	// Same shape for the observability budget: metrics and span timers on
+	// the ingest hot path must not buy throughput regressions, measured
+	// bare-vs-instrumented in one run so hardware drops out.
+	if *obsFloor > 0 {
+		num := "BenchmarkObsOverhead/instrumented"
+		den := "BenchmarkObsOverhead/bare"
+		if ratio, ok := metrics.RatioCheck(current, "docs/sec", num, den); ok {
+			if ratio < *obsFloor {
+				fmt.Printf("REGRESSION: instrumented/bare ingest docs/sec = %.2f, floor %.2f\n", ratio, *obsFloor)
+				failed = true
+			} else {
+				fmt.Printf("benchgate: instrumented/bare ingest docs/sec = %.2f (floor %.2f)\n", ratio, *obsFloor)
 			}
 		}
 	}

@@ -17,7 +17,7 @@
 //	              [-read-timeout 30s] [-read-header-timeout 5s]
 //	              [-idle-timeout 2m]
 //	              [-data-dir DIR] [-fsync always|interval|none]
-//	              [-checkpoint-every 5m]
+//	              [-checkpoint-every 5m] [-debug-addr :6060]
 //	    serve the verification pipeline as an HTTP JSON API over the live
 //	    lake (reads keep being served while /v1/ingest/* writes arrive);
 //	    ingestion is pipelined — embedding runs outside the lake's write
@@ -44,7 +44,11 @@
 //	    and closes cleanly. Durable deployments also serve the change
 //	    feed: GET /v1/changes streams the WAL (cursor-resumable, for
 //	    followers and CDC consumers) and GET /v1/replica/checkpoint
-//	    ships the latest checkpoint for follower bootstrap.
+//	    ships the latest checkpoint for follower bootstrap. Every serve
+//	    deployment exposes GET /metrics (Prometheus text exposition) on
+//	    the API listener; -debug-addr adds a side listener with
+//	    /debug/pprof/*, /debug/traces (recent per-request stage traces),
+//	    and a second /metrics, kept off the public API port.
 //	verifai follow -leader URL -data-dir DIR [-addr :8081] [...]
 //	    run a read-only replica of the leader at URL: bootstrap from its
 //	    checkpoint, stream its change feed, serve the same read API
@@ -63,7 +67,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -73,13 +77,17 @@ import (
 	"repro"
 	"repro/internal/genstore"
 	"repro/internal/lakeio"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
 
+// logger is the process-wide structured logger: operational events from the
+// serving path (and one line per HTTP request via server.WithLogger) go to
+// stderr as logfmt-style key=value text.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("verifai: ")
 	if len(os.Args) < 2 {
 		usage()
 	}
@@ -101,7 +109,8 @@ func main() {
 		usage()
 	}
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "verifai: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -356,6 +365,7 @@ func runServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable data directory (WAL + checkpoints); empty serves in-memory")
 	fsync := fs.String("fsync", "interval", "WAL sync policy: always|interval|none (with -data-dir)")
 	checkpointEvery := fs.Duration("checkpoint-every", 0, "periodic checkpoint cadence, e.g. 5m (0 = only on shutdown and POST /v1/admin/checkpoint)")
+	debugAddr := fs.String("debug-addr", "", "side listener for /debug/pprof/*, /debug/traces, and /metrics (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -392,9 +402,9 @@ func runServe(args []string) error {
 	}
 
 	stats := sys.Pipeline().Lake().Stats()
-	fmt.Printf("serving %d tables / %d texts (lake version %d) on %s\n",
-		stats.Tables, stats.Docs, sys.LakeVersion(), *addr)
-	return serveLoop(sys, *addr, serverOpts, listenerTimeouts{
+	logger.Info("serving", "tables", stats.Tables, "texts", stats.Docs,
+		"lake_version", sys.LakeVersion(), "addr", *addr)
+	return serveLoop(sys, *addr, *debugAddr, serverOpts, listenerTimeouts{
 		read: *readTimeout, readHeader: *readHeaderTimeout, idle: *idleTimeout,
 	}, *checkpointEvery, *dataDir != "")
 }
@@ -408,13 +418,21 @@ type listenerTimeouts struct {
 // serveLoop runs the HTTP server over an assembled system until
 // SIGINT/SIGTERM, then drains connections, takes a final checkpoint
 // (durable mode), and closes the system — the lifecycle shared by the
-// serve (leader / standalone) and follow (replica) subcommands.
-func serveLoop(sys *verifai.System, addr string, serverOpts []server.Option, lt listenerTimeouts, checkpointEvery time.Duration, durable bool) error {
+// serve (leader / standalone) and follow (replica) subcommands. A
+// non-empty debugAddr starts a side listener serving /debug/pprof/*,
+// /debug/traces, and /metrics — a separate port so profiling and
+// introspection never ride the public API surface.
+func serveLoop(sys *verifai.System, addr, debugAddr string, serverOpts []server.Option, lt listenerTimeouts, checkpointEvery time.Duration, durable bool) error {
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
 	// drain in-flight requests, take a final checkpoint (durable mode),
 	// and close the system so no accepted write is lost.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Every serve path shares the system's metric registry and the process
+	// logger: the server records per-request metrics into the same registry
+	// the lake/WAL/pipeline instruments write to, so GET /metrics is one
+	// coherent scrape.
+	serverOpts = append(serverOpts, server.WithObs(sys.Metrics()), server.WithLogger(logger))
 	// The listener timeouts are the first line of defense against slow and
 	// idle clients: without them a slowloris peer trickling header bytes —
 	// or a connection that simply never sends anything — holds a
@@ -430,6 +448,22 @@ func serveLoop(sys *verifai.System, addr string, serverOpts []server.Option, lt 
 		IdleTimeout:       lt.idle,
 	}
 
+	if debugAddr != "" {
+		dbg := &http.Server{Addr: debugAddr, Handler: obs.DebugHandler(sys.Metrics())}
+		go func() {
+			logger.Info("debug listener up", "addr", debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "addr", debugAddr, "err", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = dbg.Shutdown(shctx)
+		}()
+	}
+
 	if durable && checkpointEvery > 0 {
 		go func() {
 			t := time.NewTicker(checkpointEvery)
@@ -443,11 +477,11 @@ func serveLoop(sys *verifai.System, addr string, serverOpts []server.Option, lt 
 					// (the running one covers it).
 					switch v, err := sys.Checkpoint(); {
 					case errors.Is(err, verifai.ErrCheckpointInFlight):
-						log.Print("periodic checkpoint skipped: one already in flight")
+						logger.Info("periodic checkpoint skipped: one already in flight")
 					case err != nil:
-						log.Printf("periodic checkpoint failed: %v", err)
+						logger.Error("periodic checkpoint failed", "err", err)
 					default:
-						log.Printf("checkpointed at lake version %d", v)
+						logger.Info("checkpoint complete", "lake_version", v)
 					}
 				case <-ctx.Done():
 					return
@@ -459,7 +493,7 @@ func serveLoop(sys *verifai.System, addr string, serverOpts []server.Option, lt 
 	shutdownErr := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		log.Print("signal received; draining connections")
+		logger.Info("signal received; draining connections")
 		shctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		shutdownErr <- srv.Shutdown(shctx)
@@ -471,18 +505,18 @@ func serveLoop(sys *verifai.System, addr string, serverOpts []server.Option, lt 
 		return err
 	}
 	if serr := <-shutdownErr; serr != nil {
-		log.Printf("shutdown: %v", serr)
+		logger.Warn("shutdown", "err", serr)
 	}
 	if durable {
 		switch v, cerr := sys.Checkpoint(); {
 		case errors.Is(cerr, verifai.ErrCheckpointInFlight):
 			// Close waits the running checkpoint out before releasing the
 			// data dir; anything it forked too early to cover is in the WAL.
-			log.Print("final checkpoint skipped: one already in flight (Close waits for it; WAL has the remainder)")
+			logger.Info("final checkpoint skipped: one already in flight (Close waits for it; WAL has the remainder)")
 		case cerr != nil:
-			log.Printf("final checkpoint failed (WAL still has everything): %v", cerr)
+			logger.Error("final checkpoint failed (WAL still has everything)", "err", cerr)
 		default:
-			log.Printf("final checkpoint at lake version %d", v)
+			logger.Info("final checkpoint complete", "lake_version", v)
 		}
 	}
 	return sys.Close()
@@ -510,6 +544,7 @@ func runFollow(args []string) error {
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time between requests (0 = falls back to -read-timeout)")
 	fsync := fs.String("fsync", "interval", "WAL sync policy: always|interval|none")
 	checkpointEvery := fs.Duration("checkpoint-every", 0, "periodic checkpoint cadence; bounds the follower's own recovery time (0 = only at shutdown)")
+	debugAddr := fs.String("debug-addr", "", "side listener for /debug/pprof/*, /debug/traces, and /metrics (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -551,8 +586,8 @@ func runFollow(args []string) error {
 		}))
 	}
 
-	fmt.Printf("following %s (lake version %d) on %s\n", *leader, sys.LakeVersion(), *addr)
-	return serveLoop(sys, *addr, serverOpts, listenerTimeouts{
+	logger.Info("following", "leader", *leader, "lake_version", sys.LakeVersion(), "addr", *addr)
+	return serveLoop(sys, *addr, *debugAddr, serverOpts, listenerTimeouts{
 		read: *readTimeout, readHeader: *readHeaderTimeout, idle: *idleTimeout,
 	}, *checkpointEvery, true)
 }
@@ -578,9 +613,10 @@ func openDurable(dataDir, lakeDir string, seed uint64, exact bool, tune indexTun
 	}
 	if sys.LakeVersion() > 0 || lakeDir == "" {
 		if lakeDir != "" {
-			log.Printf("data dir %s already has state (lake version %d); ignoring -lake", dataDir, sys.LakeVersion())
+			logger.Info("data dir already has state; ignoring -lake",
+				"data_dir", dataDir, "lake_version", sys.LakeVersion())
 		} else {
-			log.Printf("recovered data dir %s at lake version %d", dataDir, sys.LakeVersion())
+			logger.Info("recovered data dir", "data_dir", dataDir, "lake_version", sys.LakeVersion())
 		}
 		return sys, nil
 	}
@@ -589,9 +625,9 @@ func openDurable(dataDir, lakeDir string, seed uint64, exact bool, tune indexTun
 		return nil, fmt.Errorf("seed from -lake: %w", err)
 	}
 	if v, err := sys.Checkpoint(); err != nil {
-		log.Printf("post-seed checkpoint failed (WAL still has everything): %v", err)
+		logger.Error("post-seed checkpoint failed (WAL still has everything)", "err", err)
 	} else {
-		log.Printf("seeded %s from %s and checkpointed at lake version %d", dataDir, lakeDir, v)
+		logger.Info("seeded and checkpointed", "data_dir", dataDir, "lake", lakeDir, "lake_version", v)
 	}
 	return sys, nil
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cdc"
 	"repro/internal/datalake"
@@ -34,6 +36,11 @@ type ReplicationStats struct {
 	LeaderVersion uint64 `json:"leader_version"`
 	// AppliedRecords counts change-stream records applied since open.
 	AppliedRecords uint64 `json:"applied_records"`
+	// ApplyLagSeconds is the apply lag of the most recently applied batch:
+	// follower apply time minus the leader's WAL append stamp (wal.Record.TS).
+	// 0 until a stamped record is applied; clock skew between the nodes
+	// shifts it (it is an operational signal, not an ordering primitive).
+	ApplyLagSeconds float64 `json:"apply_lag_seconds,omitempty"`
 	// Running reports whether the streaming loop is still live; when false,
 	// LastError says why it stopped.
 	Running   bool   `json:"running"`
@@ -46,10 +53,21 @@ type follower struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	// lagNs is the most recent batch's apply lag in nanoseconds (follower
+	// apply time minus the max leader append stamp in the batch).
+	lagNs atomic.Int64
+
 	mu            sync.Mutex
 	applied       uint64
 	leaderVersion uint64
 	lastErr       error
+}
+
+// appliedRecords snapshots the applied-record counter.
+func (f *follower) appliedRecords() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.applied
 }
 
 // OpenFollower opens dir as a read-only replica of the leader at the given
@@ -118,6 +136,7 @@ func OpenFollower(dir, leader string, opts OpenOptions) (*System, error) {
 		_ = st.Close()
 		return nil, err
 	}
+	st.SetMetrics(sys.Metrics())
 	if err := st.ReplayTail(); err != nil {
 		sys.pipeline.Indexer().Close()
 		_ = st.Lake().Close()
@@ -130,6 +149,21 @@ func OpenFollower(dir, leader string, opts OpenOptions) (*System, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &follower{leader: leader, cancel: cancel, done: make(chan struct{})}
 	sys.follower = f
+	reg := sys.Metrics()
+	reg.GaugeFunc("verifai_replication_lag_records",
+		"Replication lag in lake versions (leader's last heartbeat version minus locally applied).",
+		func() float64 {
+			stats, ok := sys.Replication()
+			if !ok || stats.LeaderVersion < stats.LocalVersion {
+				return 0
+			}
+			return float64(stats.LeaderVersion - stats.LocalVersion)
+		})
+	reg.GaugeFunc("verifai_replication_lag_seconds",
+		"Apply lag of the most recently replicated batch in seconds (leader append stamp to follower apply).",
+		func() float64 { return time.Duration(f.lagNs.Load()).Seconds() })
+	reg.CounterFunc("verifai_replication_applied_records_total",
+		"Change-stream records applied by this follower since open.", f.appliedRecords)
 	go f.run(ctx, client, st)
 	return sys, nil
 }
@@ -143,7 +177,16 @@ func (f *follower) run(ctx context.Context, client *http.Client, st *durable.Sto
 		Client: client,
 		From:   st.Lake().CommittedVersion,
 		Apply: func(recs []wal.Record) error {
+			var maxTS int64
+			for _, rec := range recs {
+				if rec.TS > maxTS {
+					maxTS = rec.TS
+				}
+			}
 			n, err := st.ApplyReplicated(recs)
+			if err == nil && maxTS > 0 {
+				f.lagNs.Store(time.Now().UnixNano() - maxTS)
+			}
 			f.mu.Lock()
 			f.applied += uint64(n)
 			f.mu.Unlock()
@@ -181,10 +224,11 @@ func (s *System) Replication() (ReplicationStats, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	stats := ReplicationStats{
-		Leader:         f.leader,
-		LocalVersion:   local,
-		LeaderVersion:  f.leaderVersion,
-		AppliedRecords: f.applied,
+		Leader:          f.leader,
+		LocalVersion:    local,
+		LeaderVersion:   f.leaderVersion,
+		AppliedRecords:  f.applied,
+		ApplyLagSeconds: time.Duration(f.lagNs.Load()).Seconds(),
 	}
 	if stats.LeaderVersion < local {
 		stats.LeaderVersion = local // heartbeats lag applied records

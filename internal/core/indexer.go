@@ -11,11 +11,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/datalake"
 	"repro/internal/doc"
 	"repro/internal/embed"
 	"repro/internal/invindex"
+	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/table"
 	"repro/internal/vecindex"
@@ -151,6 +153,27 @@ type Indexer struct {
 	appliers  []chan applyTask
 	applierWG sync.WaitGroup
 	closeOnce sync.Once
+
+	// m holds the per-family shard-search latency handles; the zero value
+	// records nothing. Deliberately NOT part of IndexerConfig: the config
+	// participates in snapshot fingerprinting, metrics must not.
+	m indexerMetrics
+}
+
+// indexerMetrics pre-resolves the per-family children of the shard-search
+// histogram vec so the search fan-out's hot closures never render labels.
+type indexerMetrics struct {
+	searchBM25   *obs.Histogram
+	searchVector *obs.Histogram
+}
+
+// SetMetrics registers the indexer's retrieval metrics with reg. Call it
+// once at assembly, before traffic.
+func (ix *Indexer) SetMetrics(reg *obs.Registry) {
+	vec := reg.HistogramVec("verifai_shard_search_seconds",
+		"Latency of one shard search, labeled by index family.", "family")
+	ix.m.searchBM25 = vec.With(familyBM25)
+	ix.m.searchVector = vec.With(familyVector)
 }
 
 // newIndexer normalizes cfg and builds the indexer's empty structures —
@@ -570,9 +593,11 @@ func (ix *Indexer) search(ctx context.Context, query string, k int, kinds []data
 						if ctx.Err() != nil {
 							return
 						}
+						start := time.Now()
 						for _, h := range sh.SearchTerms(qterms, k) {
 							g.shardHits[si] = append(g.shardHits[si], scoredHit{id: h.ID, score: h.Score})
 						}
+						ix.m.searchBM25.Since(start)
 					})
 				}
 			}
@@ -587,9 +612,11 @@ func (ix *Indexer) search(ctx context.Context, query string, k int, kinds []data
 						if ctx.Err() != nil {
 							return
 						}
+						start := time.Now()
 						for _, h := range sh.Search(qvec, k) {
 							g.shardHits[si] = append(g.shardHits[si], scoredHit{id: h.ID, score: h.Score})
 						}
+						ix.m.searchVector.Since(start)
 					})
 				}
 			}

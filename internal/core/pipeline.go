@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/datalake"
+	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/rerank"
 	"repro/internal/trust"
@@ -37,6 +39,11 @@ type PipelineConfig struct {
 	// A cache hit returns the original Report, including its ProvenanceSeq:
 	// identical requests against an unchanged lake share one lineage record.
 	ResultCache int
+	// Metrics, when non-nil, registers the pipeline's serving-path metrics
+	// (per-stage spans, verifier call counters, result- and query-cache
+	// mirrors, per-family shard search latency) with the registry. Nil
+	// disables instrumentation at zero cost on the hot path.
+	Metrics *obs.Registry
 }
 
 // DefaultPipelineConfig returns the paper's settings, with the top-k′
@@ -61,6 +68,11 @@ type Pipeline struct {
 	cfg       PipelineConfig
 	// rcache is the versioned verify-result cache (nil when disabled).
 	rcache *resultCache
+	// obs is the metrics registry (nil disables spans and counters; every
+	// handle below is nil-safe, so the hot path never branches on it).
+	obs           *obs.Registry
+	verifierCalls *obs.Counter
+	verifierSec   *obs.Histogram
 }
 
 // NewPipeline assembles a pipeline. sourceTrust maps source IDs to trust in
@@ -87,7 +99,40 @@ func NewPipeline(lake *datalake.Lake, indexer *Indexer, rr *rerank.Registry, age
 			return nil, fmt.Errorf("core: attach result cache: %w", err)
 		}
 	}
+	if cfg.Metrics != nil {
+		p.installMetrics(cfg.Metrics)
+	}
 	return p, nil
+}
+
+// installMetrics registers the pipeline's serving-path metrics with reg:
+// verifier call volume and latency, mirrors of the result- and
+// query-cache counters (the same atomics Stats() snapshots), and the
+// indexer's per-family shard-search histograms.
+func (p *Pipeline) installMetrics(reg *obs.Registry) {
+	p.obs = reg
+	// Touch the stage family eagerly so an idle system's exposition is
+	// already complete (spans register their own stage labels lazily).
+	reg.Stages()
+	p.verifierCalls = reg.Counter("verifai_verifier_calls_total",
+		"Evidence verifications executed by the verifier agent (cache hits excluded).")
+	p.verifierSec = reg.Histogram("verifai_verifier_call_seconds",
+		"Latency of one verifier agent call over one evidence instance.")
+	if rc := p.rcache; rc != nil {
+		reg.CounterFunc("verifai_result_cache_hits_total",
+			"Verify-result cache hits.", rc.hits.Load)
+		reg.CounterFunc("verifai_result_cache_misses_total",
+			"Verify-result cache misses.", rc.misses.Load)
+		reg.CounterFunc("verifai_result_cache_invalidations_total",
+			"Verify-result cache entries evicted because a lake write or trust override staled them.", rc.invalidations.Load)
+		reg.GaugeFunc("verifai_result_cache_entries",
+			"Verify-result cache resident entries.", func() float64 { return float64(rc.len()) })
+	}
+	reg.CounterFunc("verifai_query_cache_hits_total",
+		"Query-embedding cache hits.", func() uint64 { h, _, _ := p.indexer.QueryCacheStats(); return h })
+	reg.CounterFunc("verifai_query_cache_misses_total",
+		"Query-embedding cache misses.", func() uint64 { _, m, _ := p.indexer.QueryCacheStats(); return m })
+	p.indexer.SetMetrics(reg)
 }
 
 // Close detaches the pipeline's result cache from the lake's change feed.
@@ -293,23 +338,29 @@ func (p *Pipeline) verifyWith(ctx context.Context, g verify.Generated, evidenceW
 		return Report{}, err
 	}
 	query := g.Query()
+	endRetrieve := p.obs.Span(ctx, "retrieve")
 	hits, combined := p.indexer.RetrieveCtx(ctx, query, p.cfg.TopK, kinds...)
+	endRetrieve()
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
 
 	// Resolve candidates. Resolution failures indicate index/lake drift and
 	// are surfaced, not skipped.
+	endResolve := p.obs.Span(ctx, "resolve")
 	instances := make([]datalake.Instance, 0, len(combined))
 	for _, id := range combined {
 		inst, err := p.lake.Resolve(id)
 		if err != nil {
+			endResolve()
 			return Report{}, fmt.Errorf("core: resolve candidate: %w", err)
 		}
 		instances = append(instances, inst)
 	}
+	endResolve()
 
 	// Task-aware reranking to top-k′.
+	endRerank := p.obs.Span(ctx, "rerank")
 	var ordered []datalake.Instance
 	var rerankEntries []provenance.RerankEntry
 	if p.cfg.UseReranker {
@@ -333,6 +384,7 @@ func (p *Pipeline) verifyWith(ctx context.Context, g verify.Generated, evidenceW
 			rerankEntries = append(rerankEntries, provenance.RerankEntry{InstanceID: in.ID, Rank: rank})
 		}
 	}
+	endRerank()
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
@@ -341,7 +393,9 @@ func (p *Pipeline) verifyWith(ctx context.Context, g verify.Generated, evidenceW
 	// configured — then aggregate sequentially in rank order so the report
 	// (votes, provenance, float accumulation) is bit-identical to the
 	// sequential path.
+	endVerify := p.obs.Span(ctx, "verify")
 	results, err := p.verifyEvidence(ctx, g, ordered, evidenceWorkers)
+	endVerify()
 	if err != nil {
 		return Report{}, err
 	}
@@ -385,6 +439,8 @@ func (p *Pipeline) verifyWith(ctx context.Context, g verify.Generated, evidenceW
 	}
 
 	if p.prov != nil {
+		endProv := p.obs.Span(ctx, "provenance")
+		defer endProv()
 		report.ProvenanceSeq = p.prov.Append(provenance.Record{
 			ObjectID:     g.ID,
 			Query:        query,
@@ -424,7 +480,10 @@ func (p *Pipeline) verifyEvidence(ctx context.Context, g verify.Generated, order
 				setErr(err)
 				return
 			}
+			start := time.Now()
 			res, err := p.agent.Verify(g, ordered[i])
+			p.verifierCalls.Inc()
+			p.verifierSec.Since(start)
 			if err != nil {
 				setErr(err)
 				return

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/doc"
 	"repro/internal/kg"
@@ -117,6 +118,7 @@ func (l *Lake) addBatch(items []BatchItem, replica bool) ([]BatchItemResult, err
 	// any) persists the whole section with one append+sync, and only then
 	// do the mutations materialize — a hook failure rolls the entire
 	// section back with the staged versions released.
+	commitStart := time.Now()
 	l.writeMu.Lock()
 	if l.closed {
 		l.writeMu.Unlock()
@@ -172,6 +174,7 @@ func (l *Lake) addBatch(items []BatchItem, replica bool) ([]BatchItemResult, err
 		l.events <- queuedEvent{ev: evs[i], payloads: payloads[i]}
 	}
 	l.writeMu.Unlock()
+	l.m.commitSec.Since(commitStart)
 
 	// Stage 4: await application of every committed item (ascending, so
 	// only the tail wait actually blocks) and claim its application error.

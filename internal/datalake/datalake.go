@@ -17,9 +17,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/doc"
 	"repro/internal/kg"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
@@ -298,6 +300,31 @@ type Lake struct {
 
 	tableIDs []string
 	docIDs   []string
+
+	// m holds the ingest-stage observability handles (nil-safe no-ops
+	// until SetMetrics installs real ones).
+	m lakeMetrics
+}
+
+// lakeMetrics are the lake's instrumentation handles for the three ingest
+// pipeline stages. All obs handles are nil-receiver-safe.
+type lakeMetrics struct {
+	prepareSec *obs.Histogram
+	commitSec  *obs.Histogram
+	applySec   *obs.Histogram
+}
+
+// SetMetrics registers the lake's ingest-stage metrics in reg and installs
+// the hot-path handles. Call once during assembly, before concurrent
+// ingest begins. Exported metric names are documented in README.md.
+func (l *Lake) SetMetrics(reg *obs.Registry) {
+	l.m = lakeMetrics{
+		prepareSec: reg.Histogram("verifai_ingest_prepare_seconds", "Per-event prepare stage (tokenize + embed, outside all lake locks)."),
+		commitSec:  reg.Histogram("verifai_ingest_commit_seconds", "Commit section latency (stage + durable hook + materialize + enqueue, under the write lock). Batches observe once per section."),
+		applySec:   reg.Histogram("verifai_ingest_apply_seconds", "Per-event apply stage (dispatcher delivery through the last subscriber completion)."),
+	}
+	reg.GaugeFunc("verifai_ingest_queue_depth", "Committed events waiting in the bounded apply queue.",
+		func() float64 { return float64(len(l.events)) })
 }
 
 // queuedEvent pairs a committed event with the per-subscriber payloads its
@@ -590,9 +617,13 @@ func (l *Lake) dispatch() {
 // across the Apply calls so unsubscribe can exclude in-flight deliveries.
 func (l *Lake) deliver(qe queuedEvent) {
 	version := qe.ev.Version
+	start := time.Now()
 	// One token for the dispatcher itself, released after all Applies have
 	// been started, so no early completion can fire while hooks remain.
-	c := NewCountdown(1, func(err error) { l.applied(version, err) })
+	c := NewCountdown(1, func(err error) {
+		l.m.applySec.Since(start)
+		l.applied(version, err)
+	})
 	l.hooksMu.RLock()
 	for _, rh := range l.hooks {
 		if rh.apply == nil {
@@ -783,6 +814,7 @@ func (l *Lake) Close() error {
 // unsubscribed mid-prepare runs its Prepare once more harmlessly: deliver
 // looks payloads up by the registration ids still subscribed.
 func (l *Lake) prepare(ev Event) (map[int]any, error) {
+	defer l.m.prepareSec.Since(time.Now())
 	l.hooksMu.RLock()
 	var preparers []registeredHook
 	for _, rh := range l.hooks {
@@ -878,6 +910,7 @@ func (l *Lake) materializeLocked(ev *Event) {
 // hook runs without mu so readers stay unblocked during an fsync; writeMu
 // keeps the staged version reserved meanwhile.
 func (l *Lake) commit(payloads map[int]any, ev Event) (uint64, error) {
+	defer l.m.commitSec.Since(time.Now())
 	l.writeMu.Lock()
 	if l.closed {
 		l.writeMu.Unlock()

@@ -50,6 +50,7 @@ import (
 	"repro/internal/datalake"
 	"repro/internal/faultfs"
 	"repro/internal/lakeio"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -151,6 +152,39 @@ type Store struct {
 	replayed int
 	armed    bool
 	closed   bool
+
+	m storeMetrics
+}
+
+// storeMetrics holds the store's observability handles; the zero value
+// (every handle nil) records nothing, so metrics are strictly opt-in via
+// SetMetrics.
+type storeMetrics struct {
+	forkSec     *obs.Histogram
+	writeSec    *obs.Histogram
+	checkpoints *obs.Counter
+}
+
+// SetMetrics registers the store's checkpoint and recovery metrics (and
+// the WAL's) with reg. Call it once after Open, before traffic.
+func (s *Store) SetMetrics(reg *obs.Registry) {
+	s.log.SetMetrics(reg)
+	s.m.forkSec = reg.Histogram("verifai_checkpoint_fork_seconds",
+		"Checkpoint fork-phase duration (the quiesced window ingestion waits on).")
+	s.m.writeSec = reg.Histogram("verifai_checkpoint_write_seconds",
+		"Checkpoint write-phase duration (serialization and swap, ingestion running).")
+	s.m.checkpoints = reg.Counter("verifai_checkpoints_total",
+		"Checkpoints completed by this process.")
+	reg.CounterFunc("verifai_recovery_replayed_records_total",
+		"WAL records replayed at the last recovery.", func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return uint64(s.replayed)
+		})
+	reg.GaugeFunc("verifai_checkpoint_version",
+		"Lake version of the current checkpoint.", func() float64 {
+			return float64(s.CheckpointVersion())
+		})
 }
 
 func (s *Store) walDir() string        { return filepath.Join(s.dir, "wal") }
@@ -332,12 +366,14 @@ func (s *Store) ReplayTail() error {
 // Call it after ReplayTail, or replayed records would be logged twice.
 func (s *Store) Arm() {
 	s.lake.SetCommitHook(func(evs []datalake.Event) error {
+		now := time.Now().UnixNano()
 		recs := make([]wal.Record, len(evs))
 		for i, ev := range evs {
 			rec, err := wal.FromEvent(ev)
 			if err != nil {
 				return err
 			}
+			rec.TS = now
 			recs[i] = rec
 		}
 		return s.log.Append(recs...)
@@ -465,12 +501,16 @@ func (s *Store) Checkpoint(freeze FreezeFunc) (uint64, error) {
 	if err := s.log.TruncateThrough(version, sealedSeq); err != nil {
 		return 0, err
 	}
+	writeDur := time.Since(writeStart)
 	s.mu.Lock()
 	s.ckptVersion = version
 	s.lastCheckpoint = time.Now()
 	s.forkDur = forkDur
-	s.writeDur = time.Since(writeStart)
+	s.writeDur = writeDur
 	s.mu.Unlock()
+	s.m.forkSec.Observe(forkDur.Seconds())
+	s.m.writeSec.Observe(writeDur.Seconds())
+	s.m.checkpoints.Inc()
 	return version, nil
 }
 

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the metricscheck half of the package: a validator for
+// Prometheus text exposition that CI points at a live /metrics endpoint
+// (via cmd/metricscheck or the server's TestMetricsCheck) to fail the
+// build when any exported metric is missing, malformed, or duplicated.
+
+// ExpositionError is one problem found by Lint, with the 1-based line it
+// was found on (0 for whole-document problems).
+type ExpositionError struct {
+	Line int
+	Msg  string
+}
+
+func (e ExpositionError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+	}
+	return e.Msg
+}
+
+// Lint validates a Prometheus text exposition document:
+//
+//   - every non-comment line parses as `name[{labels}] value`
+//   - metric names are legal and every sample is preceded by its
+//     family's # TYPE line; # TYPE appears once per family
+//   - no duplicated series (same name + label set twice)
+//   - histograms are complete and consistent: a le="+Inf" bucket per
+//     series, cumulative bucket counts non-decreasing in le order, and
+//     the +Inf bucket equal to the _count sample
+//
+// It returns every problem found (nil for a clean document).
+func Lint(r io.Reader) []error {
+	var errs []error
+	addf := func(line int, format string, args ...any) {
+		errs = append(errs, ExpositionError{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	typed := map[string]string{} // family -> type
+	seen := map[string]int{}     // name+labels -> first line
+	type histSeries struct {     // per histogram series (family + non-le labels)
+		buckets map[float64]float64 // le -> cumulative count
+		sum     *float64
+		count   *float64
+		line    int
+	}
+	hists := map[string]*histSeries{}
+
+	histFor := func(key string, line int) *histSeries {
+		h, ok := hists[key]
+		if !ok {
+			h = &histSeries{buckets: map[float64]float64{}, line: line}
+			hists[key] = h
+		}
+		return h
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				name, typ := fields[2], strings.Join(fields[3:], " ")
+				if _, dup := typed[name]; dup {
+					addf(lineNo, "duplicate # TYPE for %s", name)
+				}
+				if typ != "counter" && typ != "gauge" && typ != "histogram" && typ != "summary" && typ != "untyped" {
+					addf(lineNo, "unknown type %q for %s", typ, name)
+				}
+				typed[name] = typ
+			}
+			continue
+		}
+		name, labels, value, perr := parseSample(line)
+		if perr != nil {
+			addf(lineNo, "malformed sample: %v", perr)
+			continue
+		}
+		if !nameRE.MatchString(name) {
+			addf(lineNo, "illegal metric name %q", name)
+			continue
+		}
+		family := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name && typed[base] == "histogram" {
+				family, suffix = base, s
+				break
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			addf(lineNo, "sample %s has no preceding # TYPE", name)
+		}
+		key := name + labels
+		if first, dup := seen[key]; dup {
+			addf(lineNo, "duplicate series %s%s (first at line %d)", name, labels, first)
+		}
+		seen[key] = lineNo
+
+		if typed[family] == "histogram" && suffix != "" {
+			le, rest := splitLE(labels)
+			h := histFor(family+rest, lineNo)
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					addf(lineNo, "%s_bucket without le label", family)
+					continue
+				}
+				bound, err := parseLE(le)
+				if err != nil {
+					addf(lineNo, "%s_bucket bad le %q", family, le)
+					continue
+				}
+				h.buckets[bound] = value
+			case "_sum":
+				v := value
+				h.sum = &v
+			case "_count":
+				v := value
+				h.count = &v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		addf(0, "read: %v", err)
+	}
+
+	for key, h := range hists {
+		inf, ok := h.buckets[infBound]
+		if !ok {
+			addf(h.line, "histogram %s missing le=\"+Inf\" bucket", key)
+			continue
+		}
+		if h.count == nil || h.sum == nil {
+			addf(h.line, "histogram %s missing _sum or _count", key)
+			continue
+		}
+		if inf != *h.count {
+			addf(h.line, "histogram %s +Inf bucket %g != count %g", key, inf, *h.count)
+		}
+		bounds := make([]float64, 0, len(h.buckets))
+		for b := range h.buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		prev := -1.0
+		first := true
+		for _, b := range bounds {
+			if c := h.buckets[b]; !first && c < prev {
+				addf(h.line, "histogram %s bucket counts decrease at le=%g", key, b)
+			} else {
+				prev, first = c, false
+			}
+		}
+	}
+
+	sort.Slice(errs, func(i, j int) bool {
+		return errs[i].(ExpositionError).Line < errs[j].(ExpositionError).Line
+	})
+	return errs
+}
+
+// infBound is the bound for le="+Inf".
+var infBound = math.Inf(1)
+
+func parseLE(le string) (float64, error) {
+	if le == "+Inf" {
+		return infBound, nil
+	}
+	return strconv.ParseFloat(le, 64)
+}
+
+// parseSample splits `name[{labels}] value` (timestamps are not emitted
+// by this repo and are rejected).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced label braces")
+		}
+		labels = rest[i : j+1]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.SplitN(strings.TrimSpace(rest), " ", 2)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("want `name value`")
+		}
+		name, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return "", "", 0, fmt.Errorf("trailing fields after value (timestamps unsupported)")
+	}
+	v, perr := strconv.ParseFloat(rest, 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad value %q", rest)
+	}
+	return name, labels, v, nil
+}
+
+// splitLE extracts the le label from a rendered label set, returning the
+// le value and the label set with le removed (series identity for
+// cumulative-bucket grouping).
+func splitLE(labels string) (le, rest string) {
+	if labels == "" {
+		return "", ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	parts := splitLabelPairs(inner)
+	kept := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(p, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if len(kept) == 0 {
+		return le, ""
+	}
+	return le, "{" + strings.Join(kept, ",") + "}"
+}
+
+// splitLabelPairs splits `k="v",k2="v2"` respecting escaped quotes.
+func splitLabelPairs(s string) []string {
+	var parts []string
+	var b strings.Builder
+	inQuotes := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' && inQuotes && i+1 < len(s):
+			b.WriteByte(c)
+			i++
+			b.WriteByte(s[i])
+			continue
+		case c == '"':
+			inQuotes = !inQuotes
+		case c == ',' && !inQuotes:
+			parts = append(parts, b.String())
+			b.Reset()
+			continue
+		}
+		b.WriteByte(c)
+	}
+	if b.Len() > 0 {
+		parts = append(parts, b.String())
+	}
+	return parts
+}

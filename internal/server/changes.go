@@ -67,15 +67,21 @@ const (
 )
 
 // rejectFollowerWrite answers 421 on a follower; reports whether handled.
+// The body carries the same {"error", "request_id"} shape as writeError,
+// plus the leader URL clients should redirect writes to.
 func (s *Server) rejectFollowerWrite(w http.ResponseWriter) bool {
 	if s.leaderURL == "" {
 		return false
 	}
 	w.Header().Set("Location", s.leaderURL)
-	writeJSON(w, http.StatusMisdirectedRequest, map[string]string{
+	body := map[string]string{
 		"error":  "this node is a read-only follower; send writes to the leader",
 		"leader": s.leaderURL,
-	})
+	}
+	if id := w.Header().Get("X-Request-Id"); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, http.StatusMisdirectedRequest, body)
 	return true
 }
 
@@ -193,6 +199,8 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+	s.cdcActive.Add(1)
+	defer s.cdcActive.Add(-1)
 
 	lake := s.pipeline.Lake()
 	reader := cf.Log.Tail(from)
@@ -220,6 +228,7 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 			if writeRec(rec) != nil {
 				return
 			}
+			s.cdcRecords.Inc()
 			if rec.Version > cursor {
 				cursor = rec.Version
 			}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// This file is the server's observability middleware: every request gets a
+// request ID (propagated from X-Request-Id or assigned), a trace carried
+// through its context (so pipeline spans land in /debug/traces), a
+// per-route status+latency metric sample, and one structured log line.
+// The middleware wraps the whole mux in ServeHTTP, so new routes are
+// instrumented by construction — there is no per-handler opt-in to forget.
+
+// newRequestID returns a fresh 16-hex-digit request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; serve anyway with a
+		// fixed marker rather than refuse traffic.
+		return "rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response status and size for metrics and logs.
+// It forwards Flush (the change feed streams) and exposes Unwrap for
+// http.ResponseController, so wrapping loses no capability handlers rely on.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// routePattern resolves the mux pattern the request will dispatch to —
+// the metric label, so cardinality is bounded by the registered routes,
+// never by raw request paths.
+func (s *Server) routePattern(r *http.Request) string {
+	if _, pattern := s.mux.Handler(r); pattern != "" {
+		return pattern
+	}
+	return "unmatched"
+}
+
+// ServeHTTP implements http.Handler: the observability middleware around
+// the API mux. The response header carries X-Request-Id before dispatch,
+// so error bodies written by any handler can echo it (see writeError).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = newRequestID()
+	}
+	w.Header().Set("X-Request-Id", id)
+	ctx := s.obs.StartTrace(r.Context(), id)
+	r = r.WithContext(ctx)
+	route := s.routePattern(r)
+	sw := &statusWriter{ResponseWriter: w}
+
+	s.mux.ServeHTTP(sw, r)
+
+	status := sw.status
+	if status == 0 {
+		// Nothing was written (e.g. a streaming handler that sent headers
+		// only through the wrapped writer's WriteHeader already set it; a
+		// handler that wrote nothing at all implies 200).
+		status = http.StatusOK
+	}
+	dur := time.Since(start)
+	s.httpReqs.With(route, strconv.Itoa(status)).Inc()
+	s.httpDur.With(route).Observe(dur.Seconds())
+	s.obs.FinishTrace(ctx, route, status)
+	s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("route", route),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Duration("duration", dur),
+		slog.Int64("bytes", sw.bytes),
+		slog.String("request_id", id),
+		slog.Uint64("lake_version", s.pipeline.Lake().Version()),
+	)
+}

@@ -54,6 +54,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -67,6 +68,7 @@ import (
 	"repro/internal/doc"
 	"repro/internal/durable"
 	"repro/internal/kg"
+	"repro/internal/obs"
 	"repro/internal/table"
 	"repro/internal/verify"
 )
@@ -108,6 +110,19 @@ type Server struct {
 	leaderURL string
 	// replStats is set by WithReplication and feeds GET /v1/stats.
 	replStats func() any
+
+	// obs is the metrics registry behind GET /metrics (set by WithObs to
+	// share the system's registry; New creates a private one otherwise, so
+	// /metrics always serves). logger receives one structured line per
+	// request (default: discard).
+	obs    *obs.Registry
+	logger *slog.Logger
+	debug  bool
+	// Pre-resolved metric handles for the middleware and the change feed.
+	httpReqs   *obs.CounterVec
+	httpDur    *obs.HistogramVec
+	cdcRecords *obs.Counter
+	cdcActive  *obs.Gauge
 }
 
 // Option configures a Server.
@@ -137,6 +152,27 @@ func WithVerifyTimeout(d time.Duration) Option {
 	return func(s *Server) { s.verifyTimeout = d }
 }
 
+// WithObs serves GET /metrics from the given registry instead of a private
+// one — pass the system's registry so pipeline, lake, WAL, and HTTP
+// metrics share one exposition.
+func WithObs(reg *obs.Registry) Option {
+	return func(s *Server) { s.obs = reg }
+}
+
+// WithLogger emits one structured log line per request (method, route,
+// status, latency, request ID, lake version) to the given logger. Default:
+// discard.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithDebug mounts /debug/pprof/* and /debug/traces on the API mux. Off by
+// default: profiles and traces can leak operational detail, so deployments
+// opt in (the CLI's -debug-addr serves them on a side listener instead).
+func WithDebug() Option {
+	return func(s *Server) { s.debug = true }
+}
+
 // New returns a server over the given pipeline.
 func New(p *core.Pipeline, opts ...Option) *Server {
 	s := &Server{pipeline: p, mux: http.NewServeMux(), verifyLimit: 4 * runtime.GOMAXPROCS(0)}
@@ -160,12 +196,45 @@ func New(p *core.Pipeline, opts ...Option) *Server {
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/provenance", s.handleProvenance)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.obs == nil {
+		s.obs = obs.NewRegistry()
+	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	if s.debug {
+		s.mux.Handle("/debug/", obs.DebugHandler(s.obs))
+	}
+	s.httpReqs = s.obs.CounterVec("verifai_http_requests_total",
+		"HTTP requests served, by mux route and response status.", "route", "status")
+	s.httpDur = s.obs.HistogramVec("verifai_http_request_duration_seconds",
+		"HTTP request latency by mux route.", "route")
+	s.cdcRecords = s.obs.Counter("verifai_cdc_stream_records_total",
+		"Change-feed records shipped to subscribers (heartbeats excluded).")
+	s.cdcActive = s.obs.Gauge("verifai_cdc_streams_active",
+		"Currently connected change-feed streams.")
+	s.obs.CounterFunc("verifai_verify_rejected_total",
+		"Verify requests rejected by the admission limiter (429).", s.rejected.Load)
+	s.obs.GaugeFunc("verifai_verify_in_flight",
+		"Verifications currently holding an admission slot.", func() float64 {
+			return float64(len(s.verifySem))
+		})
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+// Metrics returns the server's registry (its own unless WithObs shared
+// one), for tests and side listeners.
+func (s *Server) Metrics() *obs.Registry { return s.obs }
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentTypeExposition)
+	_ = s.obs.WritePrometheus(w)
 }
 
 // --- request / response DTOs ---
@@ -1028,6 +1097,14 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError writes the API's uniform error body:
+// {"error": ..., "request_id": ...}. The request ID is read back from the
+// response header the middleware set before dispatch, so every handler —
+// and every error path — carries it without threading the request through.
 func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	if id := w.Header().Get("X-Request-Id"); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, status, body)
 }

@@ -35,6 +35,13 @@ type Record struct {
 	Doc     *doc.Document    `json:"doc,omitempty"`
 	Triple  *kg.Triple       `json:"triple,omitempty"`
 	Source  *datalake.Source `json:"source,omitempty"`
+	// TS is the leader's wall-clock append time in Unix nanoseconds,
+	// stamped when the record enters the log. Optional (0 in records
+	// written before the field existed); followers use it to report apply
+	// lag in seconds alongside lag in versions. Clock skew between leader
+	// and follower shifts the measurement — it is an operational lag
+	// signal, not an ordering primitive (Version is).
+	TS int64 `json:"ts,omitempty"`
 }
 
 // FromEvent converts a committed lake event into its WAL record.

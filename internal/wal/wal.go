@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/faultfs"
+	"repro/internal/obs"
 )
 
 // SyncPolicy selects when appended records are fsynced to stable storage.
@@ -142,6 +143,39 @@ type Log struct {
 
 	stop     chan struct{}
 	syncDone chan struct{}
+
+	// m holds the observability handles (nil-safe no-ops until SetMetrics
+	// installs real ones).
+	m logMetrics
+}
+
+// logMetrics are the log's instrumentation handles. All obs handles are
+// nil-receiver-safe, so an uninstrumented log records into nothing at
+// negligible cost.
+type logMetrics struct {
+	appendSec *obs.Histogram
+	fsyncSec  *obs.Histogram
+	records   *obs.Counter
+	bytes     *obs.Counter
+	rotations *obs.Counter
+}
+
+// SetMetrics registers the log's metrics in reg and installs the hot-path
+// handles. Call once, before concurrent appends begin (durable.Store does
+// this during assembly). Exported metric names are documented in
+// README.md.
+func (l *Log) SetMetrics(reg *obs.Registry) {
+	l.m = logMetrics{
+		appendSec: reg.Histogram("verifai_wal_append_seconds", "Latency of WAL appends, fsync included under the always policy."),
+		fsyncSec:  reg.Histogram("verifai_wal_fsync_seconds", "Latency of WAL fsync calls (stalls show up here)."),
+		records:   reg.Counter("verifai_wal_appended_records_total", "Records appended to the WAL."),
+		bytes:     reg.Counter("verifai_wal_appended_bytes_total", "Bytes appended to the WAL."),
+		rotations: reg.Counter("verifai_wal_rotations_total", "Segment rotations (checkpoint forks and size rollovers)."),
+	}
+	reg.GaugeFunc("verifai_wal_segments", "Current WAL segment files (sealed + active).",
+		func() float64 { return float64(l.Stats().Segments) })
+	reg.GaugeFunc("verifai_wal_bytes", "Current total WAL size in bytes.",
+		func() float64 { return float64(l.Stats().Bytes) })
 }
 
 // Open opens (or creates) the log in dir and replays every record through
@@ -310,6 +344,7 @@ func (l *Log) Append(recs ...Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	start := time.Now()
 	var buf bytes.Buffer
 	for _, rec := range recs {
 		if err := appendFrame(&buf, rec); err != nil {
@@ -364,6 +399,9 @@ func (l *Log) Append(recs ...Record) error {
 		// would then be reused, corrupting replay.
 		_, _ = l.rotateLocked()
 	}
+	l.m.records.Add(uint64(len(recs)))
+	l.m.bytes.Add(uint64(buf.Len()))
+	l.m.appendSec.Since(start)
 	return nil
 }
 
@@ -384,10 +422,12 @@ func (l *Log) syncLocked() error {
 	if !l.dirty || l.active == nil {
 		return nil
 	}
+	start := time.Now()
 	if err := l.active.Sync(); err != nil {
 		l.sticky = fmt.Errorf("wal: fsync failed (%v); log is read-only", err)
 		return l.sticky
 	}
+	l.m.fsyncSec.Since(start)
 	l.dirty = false
 	return nil
 }
@@ -426,6 +466,7 @@ func (l *Log) rotateLocked() (int, error) {
 		l.sticky = fmt.Errorf("wal: rotate failed (%v); log is read-only", err)
 		return 0, l.sticky
 	}
+	l.m.rotations.Inc()
 	return sealed, nil
 }
 
