@@ -9,6 +9,7 @@ package verifai
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -921,6 +922,75 @@ func BenchmarkVerifyCachedVsCold(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPinnedVsHeadVerify measures the cost of time-travel reads
+// relative to head reads. "head" and "pinned" both run the full pipeline
+// with the result cache off — pinned replays against the registry's frozen
+// shards and pin-time trust, so any gap is pure snapshot overhead and
+// should be ~1x. "pinned-cached" repeats one pinned request with the cache
+// on: the pin is baked into the cache key, so hits are as cheap as head
+// hits. Writes churn the head between setup and measurement so the pinned
+// path demonstrably reads the old version.
+func BenchmarkPinnedVsHeadVerify(b *testing.B) {
+	run := func(b *testing.B, cached, pinned bool) {
+		sys := caseSystem(b, cached)
+		defer sys.Close()
+		ctx := context.Background()
+		c := workload.GolfClaim()
+		var asOf uint64
+		if pinned {
+			v, err := sys.PinSnapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			asOf = v
+			// Move the head past the pin so pinned reads cannot be
+			// silently serving live state.
+			for i := 0; i < 8; i++ {
+				if err := sys.AddDocument(&doc.Document{
+					ID: fmt.Sprintf("bench-churn-%d", i), Title: "churn", Text: "churn text",
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		verifyOnce := func(id string) Report {
+			var (
+				rep Report
+				err error
+			)
+			if pinned {
+				rep, err = sys.VerifyClaimAsOfCtx(ctx, id, c, asOf)
+			} else {
+				rep, err = sys.VerifyClaim(id, c)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			return rep
+		}
+		if rep := verifyOnce("bench-pin-warm"); pinned && rep.AsOfVersion != asOf {
+			b.Fatalf("as_of_version = %d, want %d", rep.AsOfVersion, asOf)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := fmt.Sprintf("bench-pin-%d", i)
+			if cached {
+				id = "bench-pin-warm" // same request: exercise the pin-keyed hit path
+			}
+			verifyOnce(id)
+		}
+		b.StopTimer()
+		if cached {
+			if st := sys.Stats(); st.ResultCacheHits == 0 {
+				b.Fatal("pinned-cached mode never hit the result cache")
+			}
+		}
+	}
+	b.Run("head", func(b *testing.B) { run(b, false, false) })
+	b.Run("pinned", func(b *testing.B) { run(b, false, true) })
+	b.Run("pinned-cached", func(b *testing.B) { run(b, true, true) })
 }
 
 // BenchmarkServeConcurrentVerify measures the admission-controlled HTTP

@@ -133,6 +133,7 @@ type indexTuning struct {
 	shards         int  // index shards per kind and family (0 = unsharded)
 	quantize       bool // int8 scalar-quantize flat vector shards
 	rerankMultiple int  // quantized re-rank candidate multiple (0 = default)
+	snapshotRetain int  // retained time-travel snapshots (0 = default)
 }
 
 func (t indexTuning) apply(opts *verifai.Options) {
@@ -144,6 +145,9 @@ func (t indexTuning) apply(opts *verifai.Options) {
 	}
 	if t.rerankMultiple > 0 {
 		opts.Indexer.RerankMultiple = t.rerankMultiple
+	}
+	if t.snapshotRetain > 0 {
+		opts.Pipeline.SnapshotRetain = t.snapshotRetain
 	}
 }
 
@@ -365,13 +369,14 @@ func runServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable data directory (WAL + checkpoints); empty serves in-memory")
 	fsync := fs.String("fsync", "interval", "WAL sync policy: always|interval|none (with -data-dir)")
 	checkpointEvery := fs.Duration("checkpoint-every", 0, "periodic checkpoint cadence, e.g. 5m (0 = only on shutdown and POST /v1/admin/checkpoint)")
+	snapshotRetain := fs.Int("snapshot-retain", 0, "retained time-travel snapshots beyond explicit pins; older unpinned snapshots are collected (0 = default 8)")
 	debugAddr := fs.String("debug-addr", "", "side listener for /debug/pprof/*, /debug/traces, and /metrics (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	var sys *verifai.System
-	tune := indexTuning{shards: *shards, quantize: *quantize, rerankMultiple: *rerankMultiple}
+	tune := indexTuning{shards: *shards, quantize: *quantize, rerankMultiple: *rerankMultiple, snapshotRetain: *snapshotRetain}
 	serverOpts := []server.Option{server.WithVerifyTimeout(*verifyTimeout)}
 	if *verifyConcurrency != 0 {
 		serverOpts = append(serverOpts, server.WithVerifyConcurrency(*verifyConcurrency))
@@ -400,6 +405,9 @@ func runServe(args []string) error {
 			return err
 		}
 	}
+	// Route POST /v1/snapshots through the system so durable mode persists
+	// pins across restarts (in-memory mode they just live in the registry).
+	serverOpts = append(serverOpts, server.WithSnapshots(sys.PinSnapshot, sys.UnpinSnapshot))
 
 	stats := sys.Pipeline().Lake().Stats()
 	logger.Info("serving", "tables", stats.Tables, "texts", stats.Docs,

@@ -554,17 +554,28 @@ const (
 // the pool quickly; the (partial) hits of a cancelled search must be
 // discarded by the caller, which owns surfacing ctx.Err().
 func (ix *Indexer) search(ctx context.Context, query string, k int, kinds []datalake.Kind, wantBM25, wantVector bool) []provenance.RetrievalHit {
+	return ix.searchShards(ctx, query, k, kinds, wantBM25, wantVector, ix.bm25, ix.vec)
+}
+
+// searchShards is search over explicit shard maps: the live indexes for
+// head reads, or a pinned snapshot's materialized shards for time-travel
+// reads. Everything else — the worker pool, the query-embedding cache,
+// the per-family latency metrics, the merge order — is shared, so a
+// pinned retrieval ranks exactly as a head retrieval over the same data.
+func (ix *Indexer) searchShards(ctx context.Context, query string, k int, kinds []datalake.Kind, wantBM25, wantVector bool, bm25 map[datalake.Kind][]*invindex.Index, vec map[datalake.Kind][]vectorIndex) []provenance.RetrievalHit {
 	if len(kinds) == 0 {
 		kinds = ix.cfg.Kinds
 	}
 	// Embed the query only when some requested kind actually has a vector
 	// index; BM25-only retrievals (and kinds outside the configured set)
-	// skip the embedding computation entirely.
+	// skip the embedding computation entirely. The embedding depends only
+	// on (query, seed), never on index contents, so head and pinned
+	// retrievals share the same cache entry.
 	var qvec embed.Vector
 	if wantVector {
 		needVec := false
 		for _, kind := range kinds {
-			if len(ix.vec[kind]) > 0 {
+			if len(vec[kind]) > 0 {
 				needVec = true
 				break
 			}
@@ -581,7 +592,7 @@ func (ix *Indexer) search(ctx context.Context, query string, k int, kinds []data
 	var tasks []func()
 	for _, kind := range kinds {
 		if wantBM25 {
-			if shards := ix.bm25[kind]; len(shards) > 0 {
+			if shards := bm25[kind]; len(shards) > 0 {
 				if qterms == nil {
 					qterms = shards[0].Analyze(query)
 				}
@@ -603,7 +614,7 @@ func (ix *Indexer) search(ctx context.Context, query string, k int, kinds []data
 			}
 		}
 		if wantVector {
-			if shards := ix.vec[kind]; len(shards) > 0 {
+			if shards := vec[kind]; len(shards) > 0 {
 				g := &retrGroup{family: familyVector, shardHits: make([][]scoredHit, len(shards))}
 				groups = append(groups, g)
 				for si, sh := range shards {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -239,26 +240,9 @@ func BuildIndexerFromSnapshot(lake *datalake.Lake, cfg IndexerConfig, dir string
 	if err != nil {
 		return nil, err
 	}
-	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.json"))
-	if err != nil {
-		return nil, fmt.Errorf("%w (no meta.json: %v)", ErrSnapshotMismatch, err)
-	}
-	var meta snapshotMeta
-	if err := json.Unmarshal(metaBytes, &meta); err != nil {
-		return nil, fmt.Errorf("%w (unreadable meta.json: %v)", ErrSnapshotMismatch, err)
-	}
-	cc, err := canonicalConfig(ix.cfg)
+	meta, err := checkSnapshotMeta(ix.cfg, dir)
 	if err != nil {
 		return nil, err
-	}
-	// MarshalIndent re-indented the embedded raw config; compact it back
-	// before the byte comparison.
-	var stored bytes.Buffer
-	if err := json.Compact(&stored, meta.Config); err != nil {
-		return nil, fmt.Errorf("%w (unreadable config fingerprint: %v)", ErrSnapshotMismatch, err)
-	}
-	if meta.Format != snapshotFormat || stored.String() != string(cc) {
-		return nil, fmt.Errorf("%w (configuration changed)", ErrSnapshotMismatch)
 	}
 
 	ix.startAppliers()
@@ -286,19 +270,9 @@ func BuildIndexerFromSnapshot(lake *datalake.Lake, cfg IndexerConfig, dir string
 // a shard that exists but fails to open is surfaced loudly — that is
 // corruption, not staleness.
 func (ix *Indexer) loadSnapshotShards(dir string) error {
-	stat := func(path string) error {
-		if _, err := os.Stat(path); err != nil {
-			return fmt.Errorf("%w (missing shard file %s)", ErrSnapshotMismatch, filepath.Base(path))
-		}
-		return nil
-	}
 	for kind, shards := range ix.bm25 {
 		for si := range shards {
-			path := shardFile(dir, familyBM25, kind, si)
-			if err := stat(path); err != nil {
-				return err
-			}
-			loaded, err := invindex.OpenFile(path)
+			loaded, err := openBM25Shard(shardFile(dir, familyBM25, kind, si))
 			if err != nil {
 				return err
 			}
@@ -307,30 +281,7 @@ func (ix *Indexer) loadSnapshotShards(dir string) error {
 	}
 	for kind, shards := range ix.vec {
 		for si := range shards {
-			path := shardFile(dir, familyVector, kind, si)
-			if err := stat(path); err != nil {
-				return err
-			}
-			var loaded vectorIndex
-			var err error
-			switch {
-			case ix.cfg.Vector == VectorFlat && ix.cfg.Quantize:
-				var sq *vecindex.SQFlat
-				if sq, err = vecindex.OpenSQFile(path); err == nil {
-					if ix.cfg.RerankMultiple > 0 {
-						sq.SetRerank(ix.cfg.RerankMultiple)
-					}
-					loaded = sq
-				}
-			case ix.cfg.Vector == VectorFlat:
-				loaded, err = vecindex.OpenFlatFile(path)
-			case ix.cfg.Vector == VectorIVF:
-				loaded, err = vecindex.OpenIVFFile(path)
-			case ix.cfg.Vector == VectorLSH:
-				loaded, err = vecindex.OpenLSHFile(path)
-			default:
-				return fmt.Errorf("core: unknown vector index kind %d", int(ix.cfg.Vector))
-			}
+			loaded, err := openVectorShard(ix.cfg, shardFile(dir, familyVector, kind, si))
 			if err != nil {
 				return err
 			}
@@ -338,4 +289,106 @@ func (ix *Indexer) loadSnapshotShards(dir string) error {
 		}
 	}
 	return nil
+}
+
+// checkSnapshotMeta reads and validates a snapshot directory's meta.json
+// against cfg (which must already be normalized — newIndexer writes the
+// normalized config back). It returns the meta so callers can check the
+// pinned lake version; any format or config-fingerprint drift is an
+// ErrSnapshotMismatch.
+func checkSnapshotMeta(cfg IndexerConfig, dir string) (snapshotMeta, error) {
+	var meta snapshotMeta
+	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return meta, fmt.Errorf("%w (no meta.json: %v)", ErrSnapshotMismatch, err)
+	}
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return meta, fmt.Errorf("%w (unreadable meta.json: %v)", ErrSnapshotMismatch, err)
+	}
+	cc, err := canonicalConfig(cfg)
+	if err != nil {
+		return meta, err
+	}
+	// MarshalIndent re-indented the embedded raw config; compact it back
+	// before the byte comparison.
+	var stored bytes.Buffer
+	if err := json.Compact(&stored, meta.Config); err != nil {
+		return meta, fmt.Errorf("%w (unreadable config fingerprint: %v)", ErrSnapshotMismatch, err)
+	}
+	if meta.Format != snapshotFormat || stored.String() != string(cc) {
+		return meta, fmt.Errorf("%w (configuration changed)", ErrSnapshotMismatch)
+	}
+	return meta, nil
+}
+
+// statShard distinguishes "snapshot incomplete" (ErrSnapshotMismatch,
+// rebuild instead) from "shard present but unreadable" (corruption,
+// surfaced loudly by the open that follows).
+func statShard(path string) error {
+	if _, err := os.Stat(path); err != nil {
+		return fmt.Errorf("%w (missing shard file %s)", ErrSnapshotMismatch, filepath.Base(path))
+	}
+	return nil
+}
+
+// openBM25Shard opens one persisted BM25 shard by path (mmap-able binfmt
+// or legacy gob).
+func openBM25Shard(path string) (*invindex.Index, error) {
+	if err := statShard(path); err != nil {
+		return nil, err
+	}
+	return invindex.OpenFile(path)
+}
+
+// openVectorShard opens one persisted vector shard by path, dispatching
+// on the configured family.
+func openVectorShard(cfg IndexerConfig, path string) (vectorIndex, error) {
+	if err := statShard(path); err != nil {
+		return nil, err
+	}
+	switch {
+	case cfg.Vector == VectorFlat && cfg.Quantize:
+		sq, err := vecindex.OpenSQFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.RerankMultiple > 0 {
+			sq.SetRerank(cfg.RerankMultiple)
+		}
+		return sq, nil
+	case cfg.Vector == VectorFlat:
+		return vecindex.OpenFlatFile(path)
+	case cfg.Vector == VectorIVF:
+		return vecindex.OpenIVFFile(path)
+	case cfg.Vector == VectorLSH:
+		return vecindex.OpenLSHFile(path)
+	default:
+		return nil, fmt.Errorf("core: unknown vector index kind %d", int(cfg.Vector))
+	}
+}
+
+// loadVectorShard decodes one serialized vector shard from r, dispatching
+// on the configured family — the in-memory counterpart of openVectorShard,
+// used to thaw a frozen capture into a searchable shard without touching
+// disk.
+func loadVectorShard(cfg IndexerConfig, r io.Reader) (vectorIndex, error) {
+	switch {
+	case cfg.Vector == VectorFlat && cfg.Quantize:
+		sq, err := vecindex.LoadSQ(r)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.RerankMultiple > 0 {
+			sq.SetRerank(cfg.RerankMultiple)
+		}
+		return sq, nil
+	case cfg.Vector == VectorFlat:
+		return vecindex.LoadFlat(r)
+	case cfg.Vector == VectorIVF:
+		return vecindex.LoadIVF(r)
+	case cfg.Vector == VectorLSH:
+		return vecindex.LoadLSH(r)
+	default:
+		return nil, fmt.Errorf("core: unknown vector index kind %d", int(cfg.Vector))
+	}
 }

@@ -39,6 +39,10 @@ type PipelineConfig struct {
 	// A cache hit returns the original Report, including its ProvenanceSeq:
 	// identical requests against an unchanged lake share one lineage record.
 	ResultCache int
+	// SnapshotRetain bounds the unpinned time-travel snapshot population
+	// (keep-last-N; explicit pins are retained regardless). <= 0 selects
+	// datalake.DefaultSnapshotRetain.
+	SnapshotRetain int
 	// Metrics, when non-nil, registers the pipeline's serving-path metrics
 	// (per-stage spans, verifier call counters, result- and query-cache
 	// mirrors, per-family shard search latency) with the registry. Nil
@@ -68,6 +72,9 @@ type Pipeline struct {
 	cfg       PipelineConfig
 	// rcache is the versioned verify-result cache (nil when disabled).
 	rcache *resultCache
+	// snapshots retains time-travel snapshots (never nil; see snapshot.go).
+	snapshots   *datalake.SnapshotRegistry
+	pinnedReads *obs.Counter
 	// obs is the metrics registry (nil disables spans and counters; every
 	// handle below is nil-safe, so the hot path never branches on it).
 	obs           *obs.Registry
@@ -92,6 +99,7 @@ func NewPipeline(lake *datalake.Lake, indexer *Indexer, rr *rerank.Registry, age
 	p := &Pipeline{
 		lake: lake, indexer: indexer, rerankers: rr, agent: agent,
 		prov: prov, trust: sourceTrust, cfg: cfg,
+		snapshots: datalake.NewSnapshotRegistry(cfg.SnapshotRetain),
 	}
 	if cfg.ResultCache > 0 {
 		p.rcache = newResultCache(cfg.ResultCache)
@@ -118,6 +126,9 @@ func (p *Pipeline) installMetrics(reg *obs.Registry) {
 		"Evidence verifications executed by the verifier agent (cache hits excluded).")
 	p.verifierSec = reg.Histogram("verifai_verifier_call_seconds",
 		"Latency of one verifier agent call over one evidence instance.")
+	p.pinnedReads = reg.Counter("verifai_pinned_reads_total",
+		"Verifications served against a retained snapshot (?version= time-travel reads).")
+	p.snapshots.SetMetrics(reg)
 	if rc := p.rcache; rc != nil {
 		reg.CounterFunc("verifai_result_cache_hits_total",
 			"Verify-result cache hits.", rc.hits.Load)
@@ -248,6 +259,11 @@ type Report struct {
 	// ProvenanceSeq is the lineage record's sequence number (-1 when
 	// provenance is disabled).
 	ProvenanceSeq int
+	// AsOfVersion is the retained snapshot version the report was computed
+	// against (0 for a head read): the reproducibility stamp — re-verifying
+	// at the same pin yields an identical report no matter what has been
+	// ingested since.
+	AsOfVersion uint64 `json:",omitempty"`
 }
 
 // Retrieve runs only the Indexer+Combiner stage, for retrieval experiments.
@@ -329,17 +345,49 @@ func (p *Pipeline) verifyCached(ctx context.Context, g verify.Generated, evidenc
 	return rep, nil
 }
 
+// evidenceSource is the seam between the verification flow and the data it
+// reads: retrieval over some set of index shards, instance resolution
+// against some catalog, and a trust function. Head reads bind it to the
+// live indexer/lake/trust map; time-travel reads bind it to a pinned
+// snapshot's frozen shards, immutable View, and pin-time trust copy — the
+// rest of the flow (rerank, verify, verdict, provenance) is shared.
+type evidenceSource struct {
+	retrieve func(ctx context.Context, query string, k int, kinds []datalake.Kind) []provenance.RetrievalHit
+	resolve  func(instanceID string) (datalake.Instance, error)
+	trust    func(sourceID string) float64
+}
+
+// headSource binds the evidence seam to the live lake and indexes.
+func (p *Pipeline) headSource() evidenceSource {
+	return evidenceSource{
+		retrieve: func(ctx context.Context, query string, k int, kinds []datalake.Kind) []provenance.RetrievalHit {
+			return p.indexer.search(ctx, query, k, kinds, true, p.indexer.cfg.EnableVector)
+		},
+		resolve: p.lake.Resolve,
+		trust:   p.SourceTrust,
+	}
+}
+
 // verifyWith is VerifyCtx's implementation with an explicit evidence-worker
 // bound, so an outer fan-out (VerifyBatch) can keep total concurrency at
 // its own bound instead of multiplying by cfg.VerifyWorkers. kinds must be
 // normalized (non-empty).
 func (p *Pipeline) verifyWith(ctx context.Context, g verify.Generated, evidenceWorkers int, kinds []datalake.Kind) (Report, error) {
+	return p.verifyAgainst(ctx, g, evidenceWorkers, kinds, p.headSource(), 0)
+}
+
+// verifyAgainst runs the full retrieve → combine → rerank → verify →
+// resolve → provenance flow against an explicit evidence source, stamping
+// the report with asOf (0 for head reads). This is the single verification
+// body behind head and pinned reads.
+func (p *Pipeline) verifyAgainst(ctx context.Context, g verify.Generated, evidenceWorkers int, kinds []datalake.Kind, src evidenceSource, asOf uint64) (Report, error) {
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
 	query := g.Query()
 	endRetrieve := p.obs.Span(ctx, "retrieve")
-	hits, combined := p.indexer.RetrieveCtx(ctx, query, p.cfg.TopK, kinds...)
+	hits := src.retrieve(ctx, query, p.cfg.TopK, kinds)
+	combined := combine(hits)
 	endRetrieve()
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
@@ -350,7 +398,7 @@ func (p *Pipeline) verifyWith(ctx context.Context, g verify.Generated, evidenceW
 	endResolve := p.obs.Span(ctx, "resolve")
 	instances := make([]datalake.Instance, 0, len(combined))
 	for _, id := range combined {
-		inst, err := p.lake.Resolve(id)
+		inst, err := src.resolve(id)
 		if err != nil {
 			endResolve()
 			return Report{}, fmt.Errorf("core: resolve candidate: %w", err)
@@ -399,12 +447,12 @@ func (p *Pipeline) verifyWith(ctx context.Context, g verify.Generated, evidenceW
 	if err != nil {
 		return Report{}, err
 	}
-	report := Report{Object: g, ProvenanceSeq: -1}
+	report := Report{Object: g, ProvenanceSeq: -1, AsOfVersion: asOf}
 	votes := make(map[string][]float64)
 	var decisions []provenance.VerifierDecision
 	for i, in := range ordered {
 		res := results[i]
-		st := p.SourceTrust(in.SourceID)
+		st := src.trust(in.SourceID)
 		ev := Evidence{Instance: in, Result: res, SourceTrust: st}
 		if p.cfg.UseReranker {
 			ev.RerankScore = rerankEntries[i].Score

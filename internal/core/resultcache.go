@@ -236,6 +236,47 @@ func (c *resultCache) put(key string, kinds []datalake.Kind, version, epoch uint
 	}
 }
 
+// getPinned returns the cached Report for a pin-scoped key. Pinned entries
+// read immutable snapshot state, so neither the per-kind watermarks nor the
+// trust epoch can stale them — the key itself (which embeds the snapshot's
+// registry-unique identity, see pinnedCacheKey) is the whole validity
+// story, and entries retire only by LRU pressure.
+func (c *resultCache) getPinned(key string) (Report, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	el, ok := sh.items[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return Report{}, false
+	}
+	rep := el.Value.(*rcEntry).report
+	sh.ll.MoveToFront(el)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return rep, true
+}
+
+// putPinned caches a Report computed against a retained snapshot. No
+// version/epoch stamps: the snapshot is immutable, so the entry can never
+// go stale (its key dies with the pin generation instead).
+func (c *resultCache) putPinned(key string, rep Report) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
+		el.Value.(*rcEntry).report = rep
+		sh.ll.MoveToFront(el)
+		return
+	}
+	sh.items[key] = sh.ll.PushFront(&rcEntry{key: key, report: rep})
+	if sh.ll.Len() > sh.cap {
+		last := sh.ll.Back()
+		sh.ll.Remove(last)
+		delete(sh.items, last.Value.(*rcEntry).key)
+	}
+}
+
 // len returns the current entry count across shards.
 func (c *resultCache) len() int {
 	n := 0

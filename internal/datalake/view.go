@@ -1,7 +1,10 @@
 package datalake
 
 import (
+	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/doc"
 	"repro/internal/kg"
@@ -110,3 +113,63 @@ func (v *View) Document(id string) (*doc.Document, bool) {
 // Triples returns the view's knowledge-graph triples in insertion order
 // (shared slice; callers must not mutate).
 func (v *View) Triples() []kg.Triple { return v.triples }
+
+// Resolve maps an instance ID to its content as of the view's version —
+// the pinned-read counterpart of Lake.Resolve. Entity instances resolve
+// against g, a graph built from the view's triples (the view itself only
+// carries the flat triple list); passing nil resolves entities as
+// missing. Needs no locking: the view is immutable.
+func (v *View) Resolve(instanceID string, g *kg.Graph) (Instance, error) {
+	kind, ok := KindOf(instanceID)
+	if !ok {
+		return Instance{}, fmt.Errorf("datalake: malformed instance id %q", instanceID)
+	}
+	switch kind {
+	case KindTable:
+		id := strings.TrimPrefix(instanceID, "table:")
+		t, ok := v.tables[id]
+		if !ok {
+			return Instance{}, fmt.Errorf("datalake: unknown table %q at version %d", id, v.version)
+		}
+		return Instance{ID: instanceID, Kind: KindTable, SourceID: t.SourceID, Table: t}, nil
+	case KindTuple:
+		rest := strings.TrimPrefix(instanceID, "tuple:")
+		hash := strings.LastIndexByte(rest, '#')
+		if hash < 0 {
+			return Instance{}, fmt.Errorf("datalake: malformed tuple id %q", instanceID)
+		}
+		tableID := rest[:hash]
+		row, err := strconv.Atoi(rest[hash+1:])
+		if err != nil {
+			return Instance{}, fmt.Errorf("datalake: malformed tuple row in %q: %w", instanceID, err)
+		}
+		t, ok := v.tables[tableID]
+		if !ok {
+			return Instance{}, fmt.Errorf("datalake: unknown table %q at version %d", tableID, v.version)
+		}
+		tp, ok := t.TupleAt(row)
+		if !ok {
+			return Instance{}, fmt.Errorf("datalake: row %d out of range for table %q", row, tableID)
+		}
+		return Instance{ID: instanceID, Kind: KindTuple, SourceID: t.SourceID, Tuple: &tp}, nil
+	case KindText:
+		id := strings.TrimPrefix(instanceID, "text:")
+		d, ok := v.docs[id]
+		if !ok {
+			return Instance{}, fmt.Errorf("datalake: unknown document %q at version %d", id, v.version)
+		}
+		return Instance{ID: instanceID, Kind: KindText, SourceID: d.SourceID, Doc: d}, nil
+	case KindEntity:
+		name := strings.TrimPrefix(instanceID, "entity:")
+		var ts []kg.Triple
+		if g != nil {
+			ts = g.About(name)
+		}
+		if len(ts) == 0 {
+			return Instance{}, fmt.Errorf("datalake: unknown entity %q at version %d", name, v.version)
+		}
+		return Instance{ID: instanceID, Kind: KindEntity, SourceID: ts[0].SourceID, Entity: name, Graph: g}, nil
+	default:
+		return Instance{}, fmt.Errorf("datalake: unhandled kind %v", kind)
+	}
+}

@@ -28,8 +28,8 @@ func TestCheckpointDoesNotBlockIngest(t *testing.T) {
 	done := make(chan error, 1)
 	var forkVersion uint64
 	go func() {
-		_, err := st.Checkpoint(func(v uint64) (WriteFunc, error) {
-			forkVersion = v
+		_, err := st.Checkpoint(func(v *datalake.View) (WriteFunc, error) {
+			forkVersion = v.Version()
 			return func(dir string) error {
 				close(writing) // quiescence released; write phase running
 				<-release
@@ -99,7 +99,7 @@ func TestCheckpointFreezeErrorAborts(t *testing.T) {
 	defer func() { st.Lake().Close(); st.Close() }()
 	mustIngest(t, st.Lake(), 3, "d")
 	boom := errors.New("boom")
-	if _, err := st.Checkpoint(func(uint64) (WriteFunc, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, err := st.Checkpoint(func(*datalake.View) (WriteFunc, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("Checkpoint error = %v, want boom", err)
 	}
 	if st.CheckpointVersion() != 0 {
@@ -128,7 +128,7 @@ func TestCloseWaitsForCheckpoint(t *testing.T) {
 	release := make(chan struct{})
 	ckptDone := make(chan error, 1)
 	go func() {
-		_, err := st.Checkpoint(func(uint64) (WriteFunc, error) {
+		_, err := st.Checkpoint(func(*datalake.View) (WriteFunc, error) {
 			return func(string) error {
 				close(writing)
 				<-release

@@ -1,14 +1,18 @@
 package durable
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/datalake"
 	"repro/internal/doc"
 	"repro/internal/faultfs"
 	"repro/internal/kg"
+	"repro/internal/lakeio"
 	"repro/internal/table"
 	"repro/internal/wal"
 )
@@ -229,6 +233,176 @@ func TestCrashConsistencyKillPoints(t *testing.T) {
 		t.Errorf("exercised %d crash points, want >= 100 (workload too small to cover the protocol)", points)
 	}
 	t.Logf("verified recovery at %d distinct crash points", points)
+}
+
+// pinSchedule is the deterministic pin workload for the snapshot-manifest
+// crash sweep: ingest docs one at a time, persist a pin every pinEvery
+// docs, and drop the oldest acked pin at each index in dropAt.
+const pinWorkloadDocs = 24
+
+// runPinCrashAttempt drives the pin workload over ffs: it returns the doc
+// count acked, the pins whose PersistPin returned nil and were not
+// acked-dropped, and the pins whose DropPin returned nil. Failures are
+// tolerated only after the injected crash.
+func runPinCrashAttempt(t *testing.T, dir string, ffs *faultfs.Faulty) (ackedDocs int, ackedPins, droppedPins []uint64) {
+	t.Helper()
+	bail := func(stage string, err error) {
+		if !ffs.Crashed() {
+			t.Fatalf("%s failed without a crash: %v", stage, err)
+		}
+	}
+	st, err := Open(dir, Options{Sync: wal.SyncAlways, SegmentBytes: 2048, FS: ffs})
+	if err != nil {
+		bail("Open", err)
+		return
+	}
+	defer func() {
+		st.Lake().Close()
+		st.Close()
+	}()
+	if err := st.ReplayTail(); err != nil {
+		bail("ReplayTail", err)
+		return
+	}
+	st.Arm()
+	for i := 0; i < pinWorkloadDocs; i++ {
+		m := docMutation(i)
+		if err := m.ingest(st.Lake()); err != nil {
+			bail("ingest", err)
+			return
+		}
+		ackedDocs = i + 1
+		if ackedDocs%4 == 0 {
+			view, err := st.Lake().Fork(nil)
+			if err != nil {
+				bail("Fork", err)
+				return
+			}
+			trust := map[string]float64{"src": 0.25}
+			if err := st.PersistPin(view, nil, trust); err != nil {
+				bail("PersistPin", err)
+				return
+			}
+			ackedPins = append(ackedPins, view.Version())
+		}
+		if (i == 9 || i == 19) && len(ackedPins) > 0 {
+			v := ackedPins[0]
+			// Once DropPin is in flight the pin's fate is indeterminate (the
+			// manifest rewrite may land before the crash), so it leaves the
+			// acked set either way; only an acknowledged drop must stick.
+			ackedPins = ackedPins[1:]
+			if err := st.DropPin(v); err != nil {
+				bail("DropPin", err)
+				return
+			}
+			droppedPins = append(droppedPins, v)
+		}
+	}
+	return
+}
+
+// verifyPinCrashRecovery recovers dir with a healthy filesystem and
+// asserts the snapshot-manifest invariants at this kill point: the
+// manifest is old-or-new, never torn (RecoverPins decodes it), every
+// acknowledged still-held pin survives with a loadable catalog carrying
+// exactly its version's doc prefix and its trust map, every acknowledged
+// drop stays dropped, and unmanifested pin directories are swept.
+func verifyPinCrashRecovery(t *testing.T, dir string, kill int64, ackedPins, droppedPins []uint64) {
+	t.Helper()
+	st, err := Open(dir, Options{Sync: wal.SyncNone})
+	if err != nil {
+		t.Fatalf("kill %d: recovery Open failed: %v", kill, err)
+	}
+	defer func() {
+		st.Lake().Close()
+		st.Close()
+	}()
+	recovered, err := st.RecoverPins()
+	if err != nil {
+		t.Fatalf("kill %d: RecoverPins failed (torn manifest?): %v", kill, err)
+	}
+	byVersion := make(map[uint64]RecoveredPin, len(recovered))
+	for _, p := range recovered {
+		byVersion[p.Version] = p
+	}
+	for _, v := range ackedPins {
+		if _, ok := byVersion[v]; !ok {
+			t.Fatalf("kill %d: acknowledged pin %d lost from the manifest", kill, v)
+		}
+	}
+	for _, v := range droppedPins {
+		if _, ok := byVersion[v]; ok {
+			t.Fatalf("kill %d: acknowledged drop of pin %d resurrected", kill, v)
+		}
+	}
+	// Every manifested pin — acknowledged or landed-but-unacked — must be
+	// one the workload actually attempted (a multiple of 4) and must
+	// resolve completely: trust map intact, catalog loadable, carrying
+	// exactly the doc prefix of its version.
+	for v, p := range byVersion {
+		if v == 0 || v%4 != 0 || v > pinWorkloadDocs {
+			t.Fatalf("kill %d: recovered pin at never-attempted version %d", kill, v)
+		}
+		if p.Trust["src"] != 0.25 {
+			t.Fatalf("kill %d: pin %d recovered trust %v, want src=0.25", kill, v, p.Trust)
+		}
+		pinLake, err := lakeio.Load(p.Dir)
+		if err != nil {
+			t.Fatalf("kill %d: pin %d catalog unloadable: %v", kill, v, err)
+		}
+		for i := 0; i < pinWorkloadDocs; i++ {
+			_, present := pinLake.Document(fmt.Sprintf("doc-%04d", i))
+			if want := uint64(i) < v; present != want {
+				t.Fatalf("kill %d: pin %d catalog doc %d present=%v, want %v", kill, v, i, present, want)
+			}
+		}
+		pinLake.Close()
+	}
+	// RecoverPins swept everything the manifest does not list: only
+	// manifested pin directories remain on disk.
+	entries, err := os.ReadDir(st.SnapshotsDir())
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("kill %d: read snapshots dir: %v", kill, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		v, err := strconv.ParseUint(e.Name(), 10, 64)
+		if err != nil {
+			t.Fatalf("kill %d: unswept non-pin directory %q", kill, e.Name())
+		}
+		if _, ok := byVersion[v]; !ok {
+			t.Fatalf("kill %d: unswept orphan pin directory %q", kill, e.Name())
+		}
+	}
+}
+
+// TestCrashConsistencyPinKillPoints sweeps the kill point across every
+// mutating filesystem operation of the ingest → pin → drop workload
+// (torn writes every third point): at each, recovery must see the old or
+// the new manifest — never a torn one — with every acknowledged pin
+// resolvable and every orphan directory swept.
+func TestCrashConsistencyPinKillPoints(t *testing.T) {
+	points := 0
+	for kill := int64(1); ; kill++ {
+		dir := t.TempDir()
+		ffs := faultfs.New(nil)
+		ffs.CrashAt(kill, kill%3 == 0)
+		ackedDocs, ackedPins, droppedPins := runPinCrashAttempt(t, dir, ffs)
+		if !ffs.Crashed() {
+			if ackedDocs != pinWorkloadDocs {
+				t.Fatalf("healthy run acknowledged %d/%d writes", ackedDocs, pinWorkloadDocs)
+			}
+			break
+		}
+		points++
+		verifyPinCrashRecovery(t, dir, kill, ackedPins, droppedPins)
+	}
+	if points < 100 {
+		t.Errorf("exercised %d crash points, want >= 100 (workload too small to cover the pin protocol)", points)
+	}
+	t.Logf("verified pin recovery at %d distinct crash points", points)
 }
 
 // TestCrashConsistencyRandomized throws random kill points (random

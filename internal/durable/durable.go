@@ -139,6 +139,10 @@ type Store struct {
 	// under the tar walk.
 	swapMu sync.RWMutex
 
+	// pinMu serializes durable pin-set mutations (PersistPin / DropPin /
+	// RecoverPins): each is a read-modify-write of MANIFEST.json.
+	pinMu sync.Mutex
+
 	mu             sync.Mutex
 	ckptVersion    uint64
 	lastCheckpoint time.Time
@@ -390,11 +394,14 @@ func (s *Store) Arm() {
 }
 
 // FreezeFunc is the fork-phase half of an index snapshot: it runs with
-// the lake quiesced at version and must capture index state cheaply in
-// memory (e.g. core.Indexer.Freeze), returning the WriteFunc that will
-// serialize the capture later. An error aborts the checkpoint before
-// anything is written.
-type FreezeFunc func(version uint64) (WriteFunc, error)
+// the lake quiesced, receiving the immutable View pinned by the fork, and
+// must capture index state cheaply in memory (e.g. core.Indexer.Freeze),
+// returning the WriteFunc that will serialize the capture later. Handing
+// the View itself (not just its version) lets the callback also retain the
+// fork as a time-travel snapshot — every checkpoint doubles as one at no
+// extra quiescence. An error aborts the checkpoint before anything is
+// written.
+type FreezeFunc func(view *datalake.View) (WriteFunc, error)
 
 // WriteFunc is the write-phase half: it serializes the frozen capture
 // into the checkpoint directory being built, with no lake locks held and
@@ -441,7 +448,7 @@ func (s *Store) Checkpoint(freeze FreezeFunc) (uint64, error) {
 	var sealedSeq int
 	view, err := s.lake.Fork(func(v *datalake.View) error {
 		if freeze != nil {
-			w, ferr := freeze(v.Version())
+			w, ferr := freeze(v)
 			if ferr != nil {
 				return fmt.Errorf("durable: freeze indexes: %w", ferr)
 			}

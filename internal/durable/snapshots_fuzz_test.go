@@ -1,0 +1,73 @@
+package durable
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzSnapshotManifestDecode fuzzes the snapshot-manifest validator with
+// arbitrary bytes — exactly what recovery reads after a crash, a partial
+// disk restore, or operator meddling under <dir>/snapshots. Invariants:
+// no panic on any input; acceptance implies the validated shape (format
+// 1, strictly ascending non-zero versions, trust in [0,1]); and an
+// accepted manifest round-trips losslessly through the same marshaling
+// writeSnapshotManifest uses, so persist → recover is a fixed point.
+func FuzzSnapshotManifestDecode(f *testing.F) {
+	f.Add([]byte(`{"format":1,"pins":[]}`))
+	f.Add([]byte(`{"format":1,"pins":[{"version":4,"created_unix":1700000000,"trust":{"src":0.25}}]}`))
+	f.Add([]byte(`{"format":1,"pins":[{"version":4},{"version":8},{"version":12}]}`))
+	f.Add([]byte(`{"format":2,"pins":[]}`))                                 // future format
+	f.Add([]byte(`{"format":1,"pins":[{"version":0}]}`))                    // zero version
+	f.Add([]byte(`{"format":1,"pins":[{"version":8},{"version":4}]}`))      // descending
+	f.Add([]byte(`{"format":1,"pins":[{"version":4},{"version":4}]}`))      // duplicate
+	f.Add([]byte(`{"format":1,"pins":[{"version":4,"trust":{"s":1.5}}]}`))  // trust out of range
+	f.Add([]byte(`{"format":1,"pins":[{"version":4,"trust":{"s":-0.1}}]}`)) // negative trust
+	f.Add([]byte(`{"format":1,"pins":[{"version":4,"created_unix":-1}]}`))  // odd but legal time
+	f.Add([]byte(`{"format":1,"pins":[{"version":18446744073709551615}]}`)) // max uint64
+	f.Add([]byte(`{"format":1`))                                            // torn mid-object
+	f.Add([]byte(`[]`))                                                     // wrong top-level shape
+	f.Add([]byte(``))                                                       // empty file
+	f.Add([]byte(`{"format":1,"pins":null}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeSnapshotManifest(data)
+		if err != nil {
+			return
+		}
+		if m.Format != 1 {
+			t.Fatalf("accepted manifest with format %d", m.Format)
+		}
+		var prev uint64
+		for _, p := range m.Pins {
+			if p.Version == 0 || p.Version <= prev {
+				t.Fatalf("accepted manifest with non-ascending versions: %v", m.Pins)
+			}
+			prev = p.Version
+			for src, tr := range p.Trust {
+				if !(tr >= 0 && tr <= 1) { // also rejects NaN
+					t.Fatalf("accepted trust %g for %q", tr, src)
+				}
+			}
+		}
+		// Round trip through the writer's encoding: what PersistPin writes,
+		// recovery must read back identically. Empty trust maps normalize to
+		// nil first — omitempty drops them on the write side.
+		for i := range m.Pins {
+			if len(m.Pins[i].Trust) == 0 {
+				m.Pins[i].Trust = nil
+			}
+		}
+		out, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			t.Fatalf("re-encode accepted manifest: %v", err)
+		}
+		m2, err := decodeSnapshotManifest(out)
+		if err != nil {
+			t.Fatalf("re-decode of accepted manifest rejected: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("manifest round trip drifted:\n  in  %+v\n  out %+v", m, m2)
+		}
+	})
+}

@@ -12,6 +12,14 @@
 //	                          deployments, 409 when one is already running);
 //	                          non-blocking: ingestion stalls only for the
 //	                          short fork phase, not the snapshot write
+//	GET  /v1/snapshots        retained time-travel snapshots + floor
+//	POST /v1/snapshots        {"action":"pin"} freezes and pins head;
+//	                          {"action":"unpin","version":N} releases it
+//	                          (verify endpoints accept ?version=N to read
+//	                          at a retained snapshot: 400 malformed, 404
+//	                          ahead of the lake, 409 not retained, 410
+//	                          below the retention floor with the floor in
+//	                          the body)
 //	GET  /v1/changes          cursor-resumable change feed (CDC + follower
 //	                          replication): ?from=N resumes, binary WAL
 //	                          frames by default, ?format=sse for SSE,
@@ -94,6 +102,11 @@ type Server struct {
 	// deployments; nil otherwise.
 	durStats   func() durable.Stats
 	checkpoint func() (uint64, error)
+	// pinSnapshot / unpinSnapshot back POST /v1/snapshots. WithSnapshots
+	// overrides them (the durable deployment's persisting versions); the
+	// defaults pin in memory through the pipeline's registry.
+	pinSnapshot   func() (uint64, error)
+	unpinSnapshot func(version uint64) error
 
 	// verifySem is the verify admission limiter (nil = unlimited); a slot
 	// is held for the duration of one verification (or one whole batch).
@@ -135,6 +148,16 @@ func WithDurability(stats func() durable.Stats, checkpoint func() (uint64, error
 	return func(s *Server) {
 		s.durStats = stats
 		s.checkpoint = checkpoint
+	}
+}
+
+// WithSnapshots overrides how POST /v1/snapshots pins and unpins — durable
+// deployments pass the System methods so pins persist across restarts;
+// without it pins live in memory only.
+func WithSnapshots(pin func() (uint64, error), unpin func(version uint64) error) Option {
+	return func(s *Server) {
+		s.pinSnapshot = pin
+		s.unpinSnapshot = unpin
 	}
 }
 
@@ -182,6 +205,18 @@ func New(p *core.Pipeline, opts ...Option) *Server {
 	if s.verifyLimit > 0 {
 		s.verifySem = make(chan struct{}, s.verifyLimit)
 	}
+	if s.pinSnapshot == nil {
+		s.pinSnapshot = func() (uint64, error) {
+			snap, err := p.PinSnapshot(nil)
+			if err != nil {
+				return 0, err
+			}
+			return snap.Version(), nil
+		}
+	}
+	if s.unpinSnapshot == nil {
+		s.unpinSnapshot = p.Snapshots().Unpin
+	}
 	s.mux.HandleFunc("/v1/verify/claim", s.handleVerifyClaim)
 	s.mux.HandleFunc("/v1/verify/tuple", s.handleVerifyTuple)
 	s.mux.HandleFunc("/v1/verify/batch", s.handleVerifyBatch)
@@ -190,6 +225,7 @@ func New(p *core.Pipeline, opts ...Option) *Server {
 	s.mux.HandleFunc("/v1/ingest/triple", s.handleIngestTriple)
 	s.mux.HandleFunc("/v1/ingest/batch", s.handleIngestBatch)
 	s.mux.HandleFunc("/v1/admin/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("/v1/snapshots", s.handleSnapshots)
 	s.mux.HandleFunc(cdc.ChangesPath, s.handleChanges)
 	s.mux.HandleFunc(cdc.CheckpointPath, s.handleReplicaCheckpoint)
 	s.mux.HandleFunc("/v1/lake/version", s.handleLakeVersion)
@@ -282,6 +318,9 @@ type VerifyResponse struct {
 	Confidence    float64            `json:"confidence"`
 	Evidence      []EvidenceResponse `json:"evidence"`
 	ProvenanceSeq int                `json:"provenance_seq"`
+	// AsOfVersion is the retained snapshot the verdict was computed against
+	// when the request carried ?version=; omitted for head reads.
+	AsOfVersion uint64 `json:"as_of_version,omitempty"`
 }
 
 // IngestTableRequest is the body of POST /v1/ingest/table.
@@ -471,6 +510,10 @@ func (s *Server) handleVerifyClaim(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err.status, "%v", err)
 		return
 	}
+	asOf, ok := parseVersionParam(w, r)
+	if !ok {
+		return
+	}
 	// Freshness barrier before admission: a waiting request must not hold a
 	// verify slot.
 	if !s.waitMinVersion(w, r) {
@@ -483,8 +526,12 @@ func (s *Server) handleVerifyClaim(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.verifyContext(r)
 	defer cancel()
-	report, err2 := s.pipeline.VerifyCtx(ctx, g, kinds...)
+	report, err2 := s.pipeline.VerifyAsOfCtx(ctx, g, asOf, kinds...)
 	if err2 != nil {
+		if snapshotResolveError(err2) {
+			s.writeSnapshotError(w, asOf, err2)
+			return
+		}
 		writeVerifyError(w, r, err2)
 		return
 	}
@@ -505,6 +552,10 @@ func (s *Server) handleVerifyTuple(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err.status, "%v", err)
 		return
 	}
+	asOf, ok := parseVersionParam(w, r)
+	if !ok {
+		return
+	}
 	if !s.waitMinVersion(w, r) {
 		return
 	}
@@ -515,8 +566,12 @@ func (s *Server) handleVerifyTuple(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.verifyContext(r)
 	defer cancel()
-	report, err2 := s.pipeline.VerifyCtx(ctx, g, kinds...)
+	report, err2 := s.pipeline.VerifyAsOfCtx(ctx, g, asOf, kinds...)
 	if err2 != nil {
+		if snapshotResolveError(err2) {
+			s.writeSnapshotError(w, asOf, err2)
+			return
+		}
 		writeVerifyError(w, r, err2)
 		return
 	}
@@ -672,6 +727,20 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	asOf, ok := parseVersionParam(w, r)
+	if !ok {
+		return
+	}
+	if asOf != 0 {
+		// Resolve the pin once, before admission: an unretained version
+		// fails the whole batch fast instead of 256 identical item errors.
+		snap, err := s.pipeline.Snapshots().Acquire(asOf)
+		if err != nil {
+			s.writeSnapshotError(w, asOf, err)
+			return
+		}
+		snap.Release()
+	}
 	if !s.waitMinVersion(w, r) {
 		return
 	}
@@ -696,7 +765,7 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 	for wkr := 0; wkr < workers; wkr++ {
 		go func() {
 			for i := range jobs {
-				report, err := s.pipeline.VerifyCtx(ctx, objects[i], itemKinds[i]...)
+				report, err := s.pipeline.VerifyAsOfCtx(ctx, objects[i], asOf, itemKinds[i]...)
 				if err != nil {
 					resp.Results[i].Error = err.Error()
 				} else {
@@ -1004,6 +1073,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"verify_in_flight":   len(s.verifySem),
 			"verify_rejected":    s.rejected.Load(),
 		},
+		"snapshots": map[string]any{
+			"retained": len(s.pipeline.Snapshots().List()),
+			"floor":    s.pipeline.Snapshots().Floor(),
+			"latest":   s.pipeline.Snapshots().Latest(),
+		},
 	}
 	if s.durStats != nil {
 		body["durability"] = s.durStats()
@@ -1074,6 +1148,7 @@ func toResponse(id string, rep core.Report) VerifyResponse {
 		Verdict:       rep.Verdict.String(),
 		Confidence:    rep.Confidence,
 		ProvenanceSeq: rep.ProvenanceSeq,
+		AsOfVersion:   rep.AsOfVersion,
 		Evidence:      make([]EvidenceResponse, 0, len(rep.Evidence)),
 	}
 	for _, ev := range rep.Evidence {
