@@ -36,6 +36,7 @@ import (
 	"repro/internal/textutil"
 	"repro/internal/vecindex"
 	"repro/internal/verify"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -749,6 +750,75 @@ func BenchmarkDurableIngest(b *testing.B) {
 			if elapsed > 0 {
 				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "docs/sec")
 			}
+			// Log growth per committed record (the delta behind
+			// verifai_wal_appended_bytes_total): how much disk each document
+			// costs under the configured payload encoding.
+			if ds, ok := sys.Durability(); ok && ds.WALRecords > 0 {
+				b.ReportMetric(float64(ds.WALBytes)/float64(ds.WALRecords), "wal-bytes/rec")
+			}
+		})
+	}
+}
+
+// walEncodeRecords is the mutation stream BenchmarkWALEncode frames: the
+// full contents of a small generated corpus — source registrations,
+// tables, entity pages, and KG triples in the proportions GenerateLake
+// actually commits them — stamped the way the ingest path stamps live
+// appends. Both codecs encode the identical records.
+func walEncodeRecords(b *testing.B) []wal.Record {
+	cfg := workload.DefaultConfig()
+	cfg.NumTables = 60
+	cfg.NumTexts = 30
+	c, err := workload.GenerateLake(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var recs []wal.Record
+	add := func(rec wal.Record) {
+		rec.Version, rec.TS = uint64(len(recs)+1), time.Now().UnixNano()
+		recs = append(recs, rec)
+	}
+	for _, s := range c.Lake.Sources() {
+		src := s
+		add(wal.Record{Kind: wal.KindSource, Source: &src})
+	}
+	for _, tbl := range c.Tables {
+		add(wal.Record{Kind: wal.KindTable, Table: tbl})
+	}
+	for _, id := range c.Lake.DocIDs() {
+		d, _ := c.Lake.Document(id)
+		add(wal.Record{Kind: wal.KindDocument, Doc: d})
+	}
+	for _, tr := range c.Lake.Triples() {
+		trc := tr
+		add(wal.Record{Kind: wal.KindTriple, Triple: &trc})
+	}
+	return recs
+}
+
+// BenchmarkWALEncode measures the record codec in isolation: whole-frame
+// bytes per record and encode cost for each payload format over the same
+// mutation mix. The bytes/rec pair is the tentpole's size claim — CI's
+// benchgate asserts binary <= 0.7x JSON within the run (machine
+// independent, since both sides come from the same process).
+func BenchmarkWALEncode(b *testing.B) {
+	recs := walEncodeRecords(b)
+	for _, f := range []wal.Format{wal.FormatBinary, wal.FormatJSON} {
+		b.Run(f.String(), func(b *testing.B) {
+			var buf bytes.Buffer
+			var frameBytes, frames int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := wal.EncodeFrameFormat(&buf, recs[i%len(recs)], f); err != nil {
+					b.Fatal(err)
+				}
+				frameBytes += int64(buf.Len())
+				frames++
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(frameBytes)/float64(frames), "bytes/rec")
 		})
 	}
 }

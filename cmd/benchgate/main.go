@@ -34,6 +34,8 @@ func main() {
 		"if > 0, require pipelined ingest docs/sec >= floor * serialized docs/sec within the current run (machine-independent; 0 disables)")
 	obsFloor := flag.Float64("obs-floor", 0,
 		"if > 0, require instrumented ingest docs/sec >= floor * bare docs/sec within the current run (observability overhead budget; 0 disables)")
+	walEncCeiling := flag.Float64("walenc-ceiling", 0,
+		"if > 0, require binary WAL bytes/rec <= ceiling * JSON bytes/rec within the current run (record codec size claim; 0 disables)")
 	flag.Parse()
 
 	baseline := parse(*baselinePath)
@@ -75,6 +77,25 @@ func main() {
 			} else {
 				fmt.Printf("benchgate: instrumented/bare ingest docs/sec = %.2f (floor %.2f)\n", ratio, *obsFloor)
 			}
+		}
+	}
+	// The WAL codec's size claim is a ceiling, not a floor: both encodings
+	// frame the identical records in the same process, so the ratio is
+	// machine-independent and must stay at or below the bound (binary at
+	// least 30% smaller than JSON at the default 0.7).
+	if *walEncCeiling > 0 {
+		num := "BenchmarkWALEncode/binary"
+		den := "BenchmarkWALEncode/json"
+		if ratio, ok := metrics.RatioCheck(current, "bytes/rec", num, den); ok {
+			if ratio > *walEncCeiling {
+				fmt.Printf("REGRESSION: binary/json WAL bytes/rec = %.3f, ceiling %.3f\n", ratio, *walEncCeiling)
+				failed = true
+			} else {
+				fmt.Printf("benchgate: binary/json WAL bytes/rec = %.3f (ceiling %.3f)\n", ratio, *walEncCeiling)
+			}
+		} else {
+			fmt.Printf("REGRESSION: -walenc-ceiling set but BenchmarkWALEncode bytes/rec missing from current run\n")
+			failed = true
 		}
 	}
 	if *filter != "" {

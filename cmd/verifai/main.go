@@ -55,6 +55,10 @@
 //	    (verify with ?min_version= for read-your-writes, stats with a
 //	    replication section, its own change feed); ingest endpoints
 //	    answer 421 Misdirected Request naming the leader
+//	verifai waldump [-data-dir DIR | FILE...]
+//	    stream WAL segments as JSON lines on stdout (one record per
+//	    line, `jq`-ready) regardless of the on-disk payload encoding —
+//	    the debugging channel for logs written with -wal-format=binary
 //
 // The lake directory is produced by cmd/lakegen (or any tool writing the
 // lakeio layout). Add -exact=false to enable the calibrated error profiles
@@ -62,8 +66,10 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -71,6 +77,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -79,6 +86,7 @@ import (
 	"repro/internal/lakeio"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -105,6 +113,8 @@ func main() {
 		err = runServe(os.Args[2:])
 	case "follow":
 		err = runFollow(os.Args[2:])
+	case "waldump":
+		err = runWaldump(os.Args[2:])
 	default:
 		usage()
 	}
@@ -115,7 +125,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: verifai <stats|claim|tuple|demo|serve|follow> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: verifai <stats|claim|tuple|demo|serve|follow|waldump> [flags]")
 	os.Exit(2)
 }
 
@@ -368,6 +378,7 @@ func runServe(args []string) error {
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time between requests (0 = falls back to -read-timeout)")
 	dataDir := fs.String("data-dir", "", "durable data directory (WAL + checkpoints); empty serves in-memory")
 	fsync := fs.String("fsync", "interval", "WAL sync policy: always|interval|none (with -data-dir)")
+	walFormat := fs.String("wal-format", "binary", "WAL record payload encoding for new appends: binary|json (existing logs replay under either; segments may mix)")
 	checkpointEvery := fs.Duration("checkpoint-every", 0, "periodic checkpoint cadence, e.g. 5m (0 = only on shutdown and POST /v1/admin/checkpoint)")
 	snapshotRetain := fs.Int("snapshot-retain", 0, "retained time-travel snapshots beyond explicit pins; older unpinned snapshots are collected (0 = default 8)")
 	debugAddr := fs.String("debug-addr", "", "side listener for /debug/pprof/*, /debug/traces, and /metrics (empty = disabled)")
@@ -383,7 +394,7 @@ func runServe(args []string) error {
 	}
 	if *dataDir != "" {
 		var err error
-		sys, err = openDurable(*dataDir, *lakeDir, *seed, *exact, tune, *ingestQueue, *fsync)
+		sys, err = openDurable(*dataDir, *lakeDir, *seed, *exact, tune, *ingestQueue, *fsync, *walFormat)
 		if err != nil {
 			return err
 		}
@@ -393,9 +404,9 @@ func runServe(args []string) error {
 		))
 		// The WAL doubles as the change feed: followers and CDC consumers
 		// stream GET /v1/changes, bootstrapping from /v1/replica/checkpoint.
-		if wlog, floor, ckpt, ok := sys.ChangeFeed(); ok {
+		if wlog, floor, ckpt, format, ok := sys.ChangeFeed(); ok {
 			serverOpts = append(serverOpts, server.WithChangeFeed(server.ChangeFeedConfig{
-				Log: wlog, Floor: floor, CheckpointTar: ckpt,
+				Log: wlog, Floor: floor, CheckpointTar: ckpt, Format: format,
 			}))
 		}
 	} else {
@@ -551,6 +562,7 @@ func runFollow(args []string) error {
 	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "max duration for reading request headers (0 = falls back to -read-timeout)")
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time between requests (0 = falls back to -read-timeout)")
 	fsync := fs.String("fsync", "interval", "WAL sync policy: always|interval|none")
+	walFormat := fs.String("wal-format", "binary", "WAL record payload encoding for new appends: binary|json (the leader's wire encoding is accepted either way)")
 	checkpointEvery := fs.Duration("checkpoint-every", 0, "periodic checkpoint cadence; bounds the follower's own recovery time (0 = only at shutdown)")
 	debugAddr := fs.String("debug-addr", "", "side listener for /debug/pprof/*, /debug/traces, and /metrics (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
@@ -565,7 +577,7 @@ func runFollow(args []string) error {
 		opts = verifai.ExactOptions(*seed)
 	}
 	indexTuning{shards: *shards, quantize: *quantize, rerankMultiple: *rerankMultiple}.apply(&opts)
-	openOpts := verifai.OpenOptions{Options: opts, Sync: *fsync}
+	openOpts := verifai.OpenOptions{Options: opts, Sync: *fsync, WALFormat: *walFormat}
 	if *ingestQueue > 0 {
 		openOpts.LakeOptions = append(openOpts.LakeOptions, verifai.WithIngestQueue(*ingestQueue))
 	}
@@ -588,9 +600,9 @@ func runFollow(args []string) error {
 	}
 	// A follower re-serves its own change feed (its WAL mirrors the
 	// leader's), so replicas can chain and CDC consumers can read replicas.
-	if wlog, floor, ckpt, ok := sys.ChangeFeed(); ok {
+	if wlog, floor, ckpt, format, ok := sys.ChangeFeed(); ok {
 		serverOpts = append(serverOpts, server.WithChangeFeed(server.ChangeFeedConfig{
-			Log: wlog, Floor: floor, CheckpointTar: ckpt,
+			Log: wlog, Floor: floor, CheckpointTar: ckpt, Format: format,
 		}))
 	}
 
@@ -605,13 +617,13 @@ func runFollow(args []string) error {
 // dir through the durable write path (so the seed data is itself logged
 // and checkpointed); a non-empty data dir ignores -lake, since its own
 // recovered state wins.
-func openDurable(dataDir, lakeDir string, seed uint64, exact bool, tune indexTuning, ingestQueue int, fsync string) (*verifai.System, error) {
+func openDurable(dataDir, lakeDir string, seed uint64, exact bool, tune indexTuning, ingestQueue int, fsync, walFormat string) (*verifai.System, error) {
 	opts := verifai.DefaultOptions(seed)
 	if exact {
 		opts = verifai.ExactOptions(seed)
 	}
 	tune.apply(&opts)
-	openOpts := verifai.OpenOptions{Options: opts, Sync: fsync}
+	openOpts := verifai.OpenOptions{Options: opts, Sync: fsync, WALFormat: walFormat}
 	if ingestQueue > 0 {
 		openOpts.LakeOptions = append(openOpts.LakeOptions, verifai.WithIngestQueue(ingestQueue))
 	}
@@ -638,6 +650,47 @@ func openDurable(dataDir, lakeDir string, seed uint64, exact bool, tune indexTun
 		logger.Info("seeded and checkpointed", "data_dir", dataDir, "lake", lakeDir, "lake_version", v)
 	}
 	return sys, nil
+}
+
+// runWaldump streams WAL segments to stdout as JSON lines — one record per
+// line in the legacy JSON payload shape — decoding either on-disk payload
+// encoding. This is the jq-debugging channel for binary-format logs:
+//
+//	verifai waldump -data-dir /var/lib/verifai | jq 'select(.kind=="source")'
+//
+// It opens no Log (no lock, no torn-tail truncation), so it is safe to run
+// against a live data directory; a torn tail is reported on stderr and
+// skipped, exactly as recovery would drop it.
+func runWaldump(args []string) error {
+	fs := flag.NewFlagSet("waldump", flag.ExitOnError)
+	dataDir := fs.String("data-dir", "", "durable data directory; dumps every segment under <data-dir>/wal in sequence order")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if *dataDir != "" {
+		found, err := wal.SegmentFiles(filepath.Join(*dataDir, "wal"))
+		if err != nil {
+			return err
+		}
+		paths = append(found, paths...)
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("nothing to dump: pass -data-dir DIR or segment files")
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	for _, path := range paths {
+		torn, err := wal.DumpSegment(path, func(rec wal.Record) error { return enc.Encode(rec) })
+		if err != nil {
+			return err
+		}
+		if torn > 0 {
+			fmt.Fprintf(os.Stderr, "verifai: %s: %d-byte torn tail skipped (partial final append)\n", path, torn)
+		}
+	}
+	return nil
 }
 
 // seedFromLake ingests a lakegen directory's contents through the durable

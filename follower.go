@@ -118,11 +118,15 @@ func OpenFollower(dir, leader string, opts OpenOptions) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("verifai: %w", err)
 	}
+	format, err := wal.ParseFormat(opts.WALFormat)
+	if err != nil {
+		return nil, fmt.Errorf("verifai: %w", err)
+	}
 	lakeOpts := make([]LakeOption, len(opts.LakeOptions))
 	copy(lakeOpts, opts.LakeOptions)
 	st, err := durable.Open(dir, durable.Options{
 		Sync: policy, SyncInterval: opts.SyncInterval, SegmentBytes: opts.SegmentBytes,
-		LakeOptions: lakeOpts,
+		WALFormat: format, LakeOptions: lakeOpts,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("verifai: %w", err)
@@ -246,12 +250,13 @@ func (s *System) Replication() (ReplicationStats, bool) {
 
 // ChangeFeed exposes the durable store's replication surfaces in the shape
 // server.WithChangeFeed wants: the WAL for tail-serving, the checkpoint
-// version as the feed floor, and the checkpoint-tar writer for follower
-// bootstrap. ok is false for in-memory systems (NewSystem), which have no
-// WAL to serve.
-func (s *System) ChangeFeed() (log *wal.Log, floor func() uint64, checkpointTar func(io.Writer) error, ok bool) {
+// version as the feed floor, the checkpoint-tar writer for follower
+// bootstrap, and the log's payload format so the wire encoding matches the
+// configured -wal-format. ok is false for in-memory systems (NewSystem),
+// which have no WAL to serve.
+func (s *System) ChangeFeed() (log *wal.Log, floor func() uint64, checkpointTar func(io.Writer) error, format wal.Format, ok bool) {
 	if s.durable == nil {
-		return nil, nil, nil, false
+		return nil, nil, nil, wal.FormatBinary, false
 	}
-	return s.durable.WAL(), s.durable.CheckpointVersion, s.durable.WriteCheckpointTar, true
+	return s.durable.WAL(), s.durable.CheckpointVersion, s.durable.WriteCheckpointTar, s.durable.WAL().Format(), true
 }

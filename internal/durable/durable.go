@@ -61,6 +61,10 @@ type Options struct {
 	// SyncInterval is the fsync period under wal.SyncInterval; <= 0 means
 	// the wal package default (100ms).
 	SyncInterval time.Duration
+	// WALFormat is the payload encoding for newly appended WAL records
+	// (default wal.FormatBinary). Existing records decode regardless of
+	// this setting — the payload is self-describing.
+	WALFormat wal.Format
 	// SegmentBytes is the WAL segment rotation threshold; <= 0 means the
 	// wal package default (16 MiB).
 	SegmentBytes int64
@@ -173,10 +177,10 @@ type storeMetrics struct {
 // the WAL's) with reg. Call it once after Open, before traffic.
 func (s *Store) SetMetrics(reg *obs.Registry) {
 	s.log.SetMetrics(reg)
-	s.m.forkSec = reg.Histogram("verifai_checkpoint_fork_seconds",
-		"Checkpoint fork-phase duration (the quiesced window ingestion waits on).")
-	s.m.writeSec = reg.Histogram("verifai_checkpoint_write_seconds",
-		"Checkpoint write-phase duration (serialization and swap, ingestion running).")
+	s.m.forkSec = reg.HistogramBuckets("verifai_checkpoint_fork_seconds",
+		"Checkpoint fork-phase duration (the quiesced window ingestion waits on).", obs.CheckpointBuckets)
+	s.m.writeSec = reg.HistogramBuckets("verifai_checkpoint_write_seconds",
+		"Checkpoint write-phase duration (serialization and swap, ingestion running).", obs.CheckpointBuckets)
 	s.m.checkpoints = reg.Counter("verifai_checkpoints_total",
 		"Checkpoints completed by this process.")
 	reg.CounterFunc("verifai_recovery_replayed_records_total",
@@ -262,7 +266,8 @@ func Open(dir string, opts Options) (_ *Store, err error) {
 	// bookkeeping only; the tail is streamed from disk again by
 	// ReplayTail, so it is never buffered whole in memory here).
 	log, err := wal.Open(s.walDir(), wal.Options{
-		Sync: opts.Sync, Interval: opts.SyncInterval, SegmentBytes: opts.SegmentBytes, FS: opts.FS,
+		Sync: opts.Sync, Interval: opts.SyncInterval, SegmentBytes: opts.SegmentBytes,
+		Format: opts.WALFormat, FS: opts.FS,
 	}, nil)
 	if err != nil {
 		return nil, fmt.Errorf("durable: open wal: %w", err)

@@ -41,6 +41,60 @@ var DefBuckets = []float64{
 	1, 2.5, 5, 10,
 }
 
+// Per-family bucket ladders. The default ladder spans six decades so it
+// fits anything, at the cost of resolution where a family actually lives:
+// WAL fsyncs and pipeline stages bunch into a handful of buckets while the
+// rest sit empty. Families with a known operating range register one of
+// these instead (HistogramBuckets / HistogramVecBuckets).
+var (
+	// IOBuckets covers storage I/O — WAL appends and fsyncs: 10µs to
+	// 2.5s. Anything past 2.5s is a stalled disk; the +Inf bucket is
+	// signal enough there.
+	IOBuckets = []float64{
+		1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2,
+		1e-1, 2.5e-1, 5e-1,
+		1, 2.5,
+	}
+	// StageBuckets covers pipeline and storage stages (retrieve, rerank,
+	// verify spans): 50µs to 30s, with room for verifier calls that run
+	// seconds.
+	StageBuckets = []float64{
+		5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2,
+		1e-1, 2.5e-1, 5e-1,
+		1, 2.5, 5, 10, 30,
+	}
+	// CheckpointBuckets covers checkpoint fork and write phases: 1ms to
+	// 10min — the write phase scales with lake size and legitimately runs
+	// far past the default ladder's 10s ceiling.
+	CheckpointBuckets = []float64{
+		1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2,
+		1e-1, 2.5e-1, 5e-1,
+		1, 2.5, 5, 10, 30, 60, 120, 300, 600,
+	}
+)
+
+// validateBuckets panics on a malformed ladder (registration-time
+// programming error, like an invalid metric name).
+func validateBuckets(name string, bounds []float64) {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: metric %q registered with empty bucket ladder", name))
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: metric %q bucket %d is not finite (+Inf is implicit)", name, i))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: metric %q buckets not strictly ascending at index %d", name, i))
+		}
+	}
+}
+
 // Counter is a monotonically increasing counter. The zero value is ready
 // to use; a nil *Counter ignores all writes.
 type Counter struct {
@@ -253,6 +307,10 @@ type family struct {
 	name, help string
 	kind       metricKind
 	labelKeys  []string
+	// buckets is the histogram ladder every child of this family uses
+	// (nil = DefBuckets). Fixed at registration so all series of one
+	// family expose identical le bounds.
+	buckets []float64
 
 	mu       sync.Mutex
 	children []*child          // registration order; sorted at exposition
@@ -281,7 +339,11 @@ func (f *family) getOrCreate(labels string) *child {
 	case kindGauge:
 		c.gauge = &Gauge{}
 	case kindHistogram:
-		c.hist = newHistogram(DefBuckets)
+		bounds := f.buckets
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		c.hist = newHistogram(bounds)
 	}
 	f.byLabel[labels] = c
 	f.children = append(f.children, c)
@@ -376,9 +438,12 @@ func (r *Registry) Traces() *TraceRing {
 	return r.traces
 }
 
-func (r *Registry) register(name, help string, kind metricKind, labelKeys []string) *family {
+func (r *Registry) register(name, help string, kind metricKind, labelKeys []string, buckets []float64) *family {
 	if !nameRE.MatchString(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if buckets != nil {
+		validateBuckets(name, buckets)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -386,10 +451,17 @@ func (r *Registry) register(name, help string, kind metricKind, labelKeys []stri
 		if f.kind != kind {
 			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
 		}
+		// A plain Histogram()/HistogramVec() call (nil buckets) accepts
+		// whatever ladder the family registered with; naming a different
+		// explicit ladder is a programming error — existing children
+		// already carry the old bounds.
+		if buckets != nil && !equalBuckets(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different bucket ladder", name))
+		}
 		return f
 	}
 	f := &family{
-		name: name, help: help, kind: kind, labelKeys: labelKeys,
+		name: name, help: help, kind: kind, labelKeys: labelKeys, buckets: buckets,
 		byLabel: make(map[string]*child),
 	}
 	r.byName[name] = f
@@ -397,12 +469,31 @@ func (r *Registry) register(name, help string, kind metricKind, labelKeys []stri
 	return f
 }
 
+// equalBuckets compares ladders, treating nil as DefBuckets.
+func equalBuckets(a, b []float64) bool {
+	if a == nil {
+		a = DefBuckets
+	}
+	if b == nil {
+		b = DefBuckets
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Counter registers (or returns) the named counter.
 func (r *Registry) Counter(name, help string) *Counter {
 	if r == nil {
 		return nil
 	}
-	return r.register(name, help, kindCounter, nil).getOrCreate("").ctr
+	return r.register(name, help, kindCounter, nil, nil).getOrCreate("").ctr
 }
 
 // CounterFunc registers a counter whose value is read from fn at
@@ -412,7 +503,7 @@ func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
 	if r == nil {
 		return
 	}
-	r.register(name, help, kindCounter, nil).getOrCreate("").ctr.fn = fn
+	r.register(name, help, kindCounter, nil, nil).getOrCreate("").ctr.fn = fn
 }
 
 // Gauge registers (or returns) the named gauge.
@@ -420,7 +511,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	return r.register(name, help, kindGauge, nil).getOrCreate("").gauge
+	return r.register(name, help, kindGauge, nil, nil).getOrCreate("").gauge
 }
 
 // GaugeFunc registers a gauge read from fn at exposition time.
@@ -428,7 +519,7 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	if r == nil {
 		return
 	}
-	r.register(name, help, kindGauge, nil).getOrCreate("").gauge.fn = fn
+	r.register(name, help, kindGauge, nil, nil).getOrCreate("").gauge.fn = fn
 }
 
 // Histogram registers (or returns) the named histogram with the default
@@ -437,7 +528,19 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	return r.register(name, help, kindHistogram, nil).getOrCreate("").hist
+	return r.register(name, help, kindHistogram, nil, nil).getOrCreate("").hist
+}
+
+// HistogramBuckets registers (or returns) the named histogram with an
+// explicit bucket ladder (ascending finite upper bounds in the metric's
+// unit; +Inf is implicit). The ladder is fixed at first registration:
+// later Histogram() calls return the same handle, and later
+// HistogramBuckets() calls must name the same ladder or panic.
+func (r *Registry) HistogramBuckets(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindHistogram, nil, buckets).getOrCreate("").hist
 }
 
 // CounterVec registers (or returns) a labeled counter family.
@@ -445,7 +548,7 @@ func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVe
 	if r == nil {
 		return nil
 	}
-	return &CounterVec{f: r.register(name, help, kindCounter, labelKeys)}
+	return &CounterVec{f: r.register(name, help, kindCounter, labelKeys, nil)}
 }
 
 // HistogramVec registers (or returns) a labeled histogram family.
@@ -453,7 +556,16 @@ func (r *Registry) HistogramVec(name, help string, labelKeys ...string) *Histogr
 	if r == nil {
 		return nil
 	}
-	return &HistogramVec{f: r.register(name, help, kindHistogram, labelKeys)}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labelKeys, nil)}
+}
+
+// HistogramVecBuckets registers (or returns) a labeled histogram family
+// with an explicit bucket ladder shared by every labeled series.
+func (r *Registry) HistogramVecBuckets(name, help string, buckets []float64, labelKeys ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labelKeys, buckets)}
 }
 
 // WritePrometheus renders every family in registration order as

@@ -174,6 +174,92 @@ func TestWritePrometheusHistogramExposition(t *testing.T) {
 	}
 }
 
+func TestHistogramBucketLadders(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("verifai_test_io_seconds", "IO.", []float64{0.001, 0.1, 10})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(3)
+	h.Observe(60) // lands in +Inf only
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`verifai_test_io_seconds_bucket{le="0.001"} 1`,
+		`verifai_test_io_seconds_bucket{le="0.1"} 2`,
+		`verifai_test_io_seconds_bucket{le="10"} 3`,
+		`verifai_test_io_seconds_bucket{le="+Inf"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `le="0.005"`) {
+		t.Error("custom-ladder histogram leaked a DefBuckets bound")
+	}
+	if errs := Lint(strings.NewReader(out)); len(errs) > 0 {
+		t.Errorf("Lint of custom-ladder exposition: %v", errs)
+	}
+
+	// Vec variant: every label child shares the family ladder.
+	hv := r.HistogramVecBuckets("verifai_test_stage_seconds", "Stages.", StageBuckets, "stage")
+	hv.With("retrieve").Observe(0.01)
+	if q := hv.With("retrieve").Quantile(0.5); q <= 0 {
+		t.Errorf("vec child quantile = %v, want > 0", q)
+	}
+
+	// Re-registration: a ladder-less lookup of a custom-ladder family
+	// returns the same handle (callers that just observe don't restate the
+	// ladder)...
+	if r.Histogram("verifai_test_io_seconds", "IO.") != h {
+		t.Error("ladder-less re-registration returned a different handle")
+	}
+	// ...and restating the identical ladder is fine too.
+	if r.HistogramBuckets("verifai_test_io_seconds", "IO.", []float64{0.001, 0.1, 10}) != h {
+		t.Error("same-ladder re-registration returned a different handle")
+	}
+
+	// A conflicting explicit ladder is a programming error: panic, don't
+	// silently serve two bucket layouts under one family name.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("conflicting bucket ladder did not panic")
+			}
+		}()
+		r.HistogramBuckets("verifai_test_io_seconds", "IO.", []float64{1, 2, 3})
+	}()
+
+	// Malformed ladders are rejected at registration.
+	for name, bad := range map[string][]float64{
+		"descending": {1, 0.5},
+		"duplicate":  {1, 1, 2},
+		"empty":      {},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s ladder did not panic", name)
+				}
+			}()
+			r.HistogramBuckets("verifai_test_bad_"+name, "x", bad)
+		}()
+	}
+
+	// The canned ladders must themselves be valid (strictly ascending).
+	for name, ladder := range map[string][]float64{
+		"IOBuckets": IOBuckets, "StageBuckets": StageBuckets, "CheckpointBuckets": CheckpointBuckets, "DefBuckets": DefBuckets,
+	} {
+		for i := 1; i < len(ladder); i++ {
+			if ladder[i] <= ladder[i-1] {
+				t.Errorf("%s not strictly ascending at index %d: %v", name, i, ladder)
+			}
+		}
+	}
+}
+
 func TestLintCatchesProblems(t *testing.T) {
 	cases := []struct {
 		name, doc, wantSub string

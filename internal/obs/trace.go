@@ -28,7 +28,7 @@ func (r *Registry) Stages() *HistogramVec {
 	if r == nil {
 		return nil
 	}
-	return r.HistogramVec(stageMetric, "Duration of pipeline and storage stages by stage name.", "stage")
+	return r.HistogramVecBuckets(stageMetric, "Duration of pipeline and storage stages by stage name.", StageBuckets, "stage")
 }
 
 // maxSpansPerTrace bounds one trace's span list; overflow is counted,

@@ -1,0 +1,53 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faultfs"
+)
+
+// SegmentFiles lists the log segment file paths in dir, ascending by
+// sequence — the read-only enumeration `verifai waldump` walks. It opens
+// no Log and takes no locks, so it is safe to run against a live data
+// directory (reads race benignly with appends: DumpSegment tolerates a
+// torn tail, which is all a concurrent append can look like).
+func SegmentFiles(dir string) ([]string, error) {
+	seqs, err := listSegments(faultfs.OS, dir)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, len(seqs))
+	for i, seq := range seqs {
+		paths[i] = segmentPath(dir, seq)
+	}
+	return paths, nil
+}
+
+// DumpSegment streams every complete record in one segment file through fn
+// in append order, decoding either payload encoding. Unlike Open it never
+// writes: a trailing torn frame is reported via the returned byte count
+// and left in place. Corruption (bad length, CRC, payload) aborts with an
+// error naming the offset. fn returning an error aborts the dump.
+func DumpSegment(path string, fn func(Record) error) (torn int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: dump segment: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		rec, next, isTorn, err := decodeFrame(data, off)
+		if err != nil {
+			return 0, fmt.Errorf("wal: segment %s: %w", filepath.Base(path), err)
+		}
+		if isTorn {
+			return int64(len(data) - off), nil
+		}
+		if err := fn(rec); err != nil {
+			return 0, err
+		}
+		off = next
+	}
+	return 0, nil
+}

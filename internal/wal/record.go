@@ -25,9 +25,11 @@ const (
 )
 
 // Record is one durable lake mutation. Exactly one of Table, Doc, Triple,
-// or Source is populated according to Kind. The payload is JSON: records
-// must stay debuggable with standard tools (`jq` over extracted payloads),
-// and the lake's values are plain exported structs.
+// or Source is populated according to Kind. The payload carries a 1-byte
+// format tag (codec.go): legacy JSON — debuggable with standard tools —
+// or the compact binary encoding, the default. `verifai waldump` streams
+// either encoding back out as JSON lines, so `jq`-debuggability survives
+// the binary default.
 type Record struct {
 	Version uint64           `json:"v"`
 	Kind    string           `json:"kind"`
@@ -59,9 +61,12 @@ func FromEvent(ev datalake.Event) (Record, error) {
 }
 
 // frame layout: 4-byte little-endian payload length, 4-byte little-endian
-// CRC-32C (Castagnoli) of the payload, then the JSON payload. The CRC
-// detects bit rot and mid-log corruption; a torn (partially written) final
-// frame is detected by the length outrunning the remaining bytes.
+// CRC-32C (Castagnoli) of the payload, then the payload (self-describing:
+// first byte 0x7B = legacy JSON, 0x01 = compact binary; see codec.go). The
+// CRC covers the whole payload including the tag and detects bit rot and
+// mid-log corruption; a torn (partially written) final frame is detected
+// by the length outrunning the remaining bytes — both classifications are
+// frame-level and therefore identical for either payload encoding.
 const frameHeaderSize = 8
 
 // FrameHeaderSize is the fixed frame prefix: 4-byte little-endian payload
@@ -81,11 +86,17 @@ const MaxRecordSize = maxRecordSize
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// appendFrame encodes one record onto buf.
-func appendFrame(buf *bytes.Buffer, rec Record) error {
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("wal: encode record: %w", err)
+// appendFrame encodes one record onto buf in the given payload format.
+func appendFrame(buf *bytes.Buffer, rec Record, f Format) error {
+	var payload []byte
+	if f == FormatJSON {
+		var err error
+		payload, err = json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("wal: encode record: %w", err)
+		}
+	} else {
+		payload = encodeRecordBinary(nil, rec)
 	}
 	if len(payload) > maxRecordSize {
 		return fmt.Errorf("wal: record payload %d bytes exceeds %d", len(payload), maxRecordSize)
@@ -117,8 +128,21 @@ func decodeFrame(data []byte, off int) (rec Record, next int, torn bool, err err
 	if got := crc32.Checksum(payload, crcTable); got != sum {
 		return Record{}, off, false, fmt.Errorf("wal: frame at offset %d fails CRC (stored %08x, computed %08x)", off, sum, got)
 	}
-	if err := json.Unmarshal(payload, &rec); err != nil {
-		return Record{}, off, false, fmt.Errorf("wal: frame at offset %d has undecodable payload: %w", off, err)
+	if n == 0 {
+		return Record{}, off, false, fmt.Errorf("wal: frame at offset %d has empty payload", off)
+	}
+	switch payload[0] {
+	case binTag:
+		var err error
+		if rec, err = decodeRecordBinary(payload); err != nil {
+			return Record{}, off, false, fmt.Errorf("wal: frame at offset %d has undecodable binary payload: %w", off, err)
+		}
+	case jsonTag:
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return Record{}, off, false, fmt.Errorf("wal: frame at offset %d has undecodable payload: %w", off, err)
+		}
+	default:
+		return Record{}, off, false, fmt.Errorf("wal: frame at offset %d has unknown payload format tag 0x%02x", off, payload[0])
 	}
 	return rec, off + frameHeaderSize + n, false, nil
 }

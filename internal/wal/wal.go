@@ -7,6 +7,9 @@
 // Layout: <dir>/wal-<seq>.log, seq ascending. The highest-numbered segment
 // is active (appended to); lower ones are sealed. A checkpoint rotates the
 // active segment and deletes sealed segments whose records it covers.
+// Record payloads are self-describing (a 1-byte format tag selects legacy
+// JSON or the compact binary codec — see codec.go), so segments may mix
+// encodings and a log written under either -wal-format replays unchanged.
 //
 // Durability is governed by the sync policy: SyncAlways fsyncs after every
 // append (each acknowledged write survives power loss), SyncInterval
@@ -84,6 +87,10 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size;
 	// <= 0 means 16 MiB.
 	SegmentBytes int64
+	// Format is the payload encoding for newly appended records (default
+	// FormatBinary). Decoding is self-describing, so reopening a log under
+	// a different Format needs no migration — segments simply mix.
+	Format Format
 	// FS is the filesystem the log writes through (default the real OS).
 	// The crash-consistency suite injects a faultfs.Faulty here.
 	FS faultfs.FS
@@ -166,8 +173,8 @@ type logMetrics struct {
 // README.md.
 func (l *Log) SetMetrics(reg *obs.Registry) {
 	l.m = logMetrics{
-		appendSec: reg.Histogram("verifai_wal_append_seconds", "Latency of WAL appends, fsync included under the always policy."),
-		fsyncSec:  reg.Histogram("verifai_wal_fsync_seconds", "Latency of WAL fsync calls (stalls show up here)."),
+		appendSec: reg.HistogramBuckets("verifai_wal_append_seconds", "Latency of WAL appends, fsync included under the always policy.", obs.IOBuckets),
+		fsyncSec:  reg.HistogramBuckets("verifai_wal_fsync_seconds", "Latency of WAL fsync calls (stalls show up here).", obs.IOBuckets),
 		records:   reg.Counter("verifai_wal_appended_records_total", "Records appended to the WAL."),
 		bytes:     reg.Counter("verifai_wal_appended_bytes_total", "Bytes appended to the WAL."),
 		rotations: reg.Counter("verifai_wal_rotations_total", "Segment rotations (checkpoint forks and size rollovers)."),
@@ -347,7 +354,7 @@ func (l *Log) Append(recs ...Record) error {
 	start := time.Now()
 	var buf bytes.Buffer
 	for _, rec := range recs {
-		if err := appendFrame(&buf, rec); err != nil {
+		if err := appendFrame(&buf, rec, l.opts.Format); err != nil {
 			return err
 		}
 	}
@@ -547,6 +554,10 @@ func (l *Log) Replay(fn func(Record) error) error {
 	}
 	return nil
 }
+
+// Format reports the payload encoding new appends use. Existing records
+// keep whatever encoding they were written with.
+func (l *Log) Format() Format { return l.opts.Format }
 
 // Stats reports the log's current shape.
 func (l *Log) Stats() Stats {

@@ -90,8 +90,9 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 
 func TestSegmentRotationAndTruncate(t *testing.T) {
 	dir := t.TempDir()
-	// Tiny segments force a rotation roughly every record.
-	opts := Options{Sync: SyncNone, SegmentBytes: 64}
+	// Tiny segments force a rotation roughly every record (binary doc
+	// frames here are ~28 bytes).
+	opts := Options{Sync: SyncNone, SegmentBytes: 24}
 	l, _ := openReplay(t, dir, opts)
 	for v := uint64(1); v <= 6; v++ {
 		if err := l.Append(docRecord(v, "d")); err != nil {
@@ -281,7 +282,7 @@ func TestSyncPolicies(t *testing.T) {
 // inconsistent).
 func TestTruncateThroughMissingSegment(t *testing.T) {
 	dir := t.TempDir()
-	l, _ := openReplay(t, dir, Options{Sync: SyncNone, SegmentBytes: 64})
+	l, _ := openReplay(t, dir, Options{Sync: SyncNone, SegmentBytes: 24})
 	for v := uint64(1); v <= 4; v++ {
 		if err := l.Append(docRecord(v, "d")); err != nil {
 			t.Fatal(err)
